@@ -1,0 +1,91 @@
+package quad
+
+import (
+	"fmt"
+
+	"github.com/quadkdv/quad/internal/classify"
+	"github.com/quadkdv/quad/internal/geom"
+	"github.com/quadkdv/quad/internal/kernel"
+	"github.com/quadkdv/quad/internal/stats"
+)
+
+// Classifier assigns query points to the class with the highest
+// prior-scaled kernel density — kernel density classification, the task
+// behind tKDC and one of the kernel-based machine-learning extensions the
+// QUAD paper points to. Classification races the classes' density bounds
+// and stops as soon as one class provably dominates, so it typically costs
+// a small fraction of computing any density exactly.
+type Classifier struct {
+	impl *classify.Classifier
+}
+
+// NewClassifier builds a kernel density classifier from labeled training
+// points. All classes share one kernel and one γ (taken from Scott's rule
+// over the pooled data unless gamma > 0), so their densities are
+// commensurable; each class is weighted by its empirical prior n_c/n.
+func NewClassifier(classes map[string][][]float64, kern Kernel, gamma float64, opts ...Option) (*Classifier, error) {
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("quad: no classes")
+	}
+	cfg := config{method: MethodQuadratic}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	method, err := toBoundsMethod(cfg.method)
+	if err != nil {
+		return nil, fmt.Errorf("quad: classifier requires a bound-based method: %w", err)
+	}
+	internalClasses := make(map[string]geom.Points, len(classes))
+	var pooled []float64
+	dim := 0
+	for label, pts := range classes {
+		if len(pts) == 0 {
+			return nil, fmt.Errorf("quad: class %q is empty", label)
+		}
+		if dim == 0 {
+			dim = len(pts[0])
+		}
+		coords := make([]float64, 0, len(pts)*dim)
+		for i, p := range pts {
+			if len(p) != dim {
+				return nil, fmt.Errorf("quad: class %q point %d has dim %d, want %d", label, i, len(p), dim)
+			}
+			coords = append(coords, p...)
+		}
+		internalClasses[label] = geom.NewPoints(coords, dim)
+		pooled = append(pooled, coords...)
+	}
+	if gamma <= 0 {
+		bw := stats.ScottsRule(geom.NewPoints(pooled, dim), kern.internal())
+		gamma = bw.Gamma
+	}
+	impl, err := classify.New(internalClasses, classify.Config{
+		Kernel:   kernel.Kernel(kern),
+		Gamma:    gamma,
+		Method:   method,
+		LeafSize: cfg.leafSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{impl: impl}, nil
+}
+
+// Labels returns the class labels in sorted order.
+func (c *Classifier) Labels() []string { return c.impl.Labels() }
+
+// Classify returns the label of the class with the highest prior-scaled
+// density at q. Safe for concurrent use.
+func (c *Classifier) Classify(q []float64) (string, error) {
+	res, err := c.impl.Classify(q)
+	if err != nil {
+		return "", err
+	}
+	return res.Label, nil
+}
+
+// ClassDensities returns each class's prior-scaled density at q to relative
+// error ε — useful for calibration or soft decisions.
+func (c *Classifier) ClassDensities(q []float64, eps float64) (map[string]float64, error) {
+	return c.impl.Densities(q, eps)
+}

@@ -1,0 +1,92 @@
+package quad
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func labeledBlobs(rng *rand.Rand, n int) map[string][][]float64 {
+	mk := func(cx, cy float64) [][]float64 {
+		out := make([][]float64, n)
+		for i := range out {
+			out[i] = []float64{cx + rng.NormFloat64(), cy + rng.NormFloat64()}
+		}
+		return out
+	}
+	return map[string][][]float64{"hot": mk(0, 0), "cold": mk(7, 7)}
+}
+
+func TestNewClassifierValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(140))
+	if _, err := NewClassifier(nil, Gaussian, 0); err == nil {
+		t.Error("no classes accepted")
+	}
+	classes := labeledBlobs(rng, 50)
+	classes["bad"] = [][]float64{}
+	if _, err := NewClassifier(classes, Gaussian, 0); err == nil {
+		t.Error("empty class accepted")
+	}
+	delete(classes, "bad")
+	classes["ragged"] = [][]float64{{1, 2, 3}}
+	if _, err := NewClassifier(classes, Gaussian, 0); err == nil {
+		t.Error("mixed dims accepted")
+	}
+	delete(classes, "ragged")
+	if _, err := NewClassifier(classes, Gaussian, 0, WithMethod(MethodExact)); err == nil {
+		t.Error("exact method accepted (classifier needs bounds)")
+	}
+}
+
+func TestClassifierEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	c, err := NewClassifier(labeledBlobs(rng, 500), Gaussian, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Labels(); len(got) != 2 || got[0] != "cold" || got[1] != "hot" {
+		t.Fatalf("Labels = %v", got)
+	}
+	cases := []struct {
+		q    []float64
+		want string
+	}{
+		{[]float64{0, 0}, "hot"},
+		{[]float64{7, 7}, "cold"},
+		{[]float64{-1, 1}, "hot"},
+		{[]float64{8, 6}, "cold"},
+	}
+	for _, tc := range cases {
+		got, err := c.Classify(tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("Classify(%v) = %s, want %s", tc.q, got, tc.want)
+		}
+	}
+	dens, err := c.ClassDensities([]float64{0, 0}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dens["hot"] <= dens["cold"] {
+		t.Errorf("densities at hot center: %v", dens)
+	}
+	if _, err := c.Classify([]float64{1}); err == nil {
+		t.Error("wrong-dim query accepted")
+	}
+}
+
+func TestClassifierExplicitGammaAndKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(142))
+	c, err := NewClassifier(labeledBlobs(rng, 300), Triangular, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Classify([]float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "hot" {
+		t.Errorf("triangular-kernel classify = %s", got)
+	}
+}

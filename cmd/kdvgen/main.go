@@ -1,0 +1,64 @@
+// Command kdvgen emits the synthetic dataset analogues (Table 5) as CSV so
+// they can be inspected, plotted, or fed back through kdvrender -data.
+//
+// Usage:
+//
+//	kdvgen -name crime -n 270688 -o crime.csv
+//	kdvgen -name hep -n 1000000 -dims 10 -o hep.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/quadkdv/quad/internal/dataset"
+	"github.com/quadkdv/quad/internal/geom"
+)
+
+func main() {
+	var (
+		name = flag.String("name", "", "dataset: elnino|crime|home|hep")
+		n    = flag.Int("n", 0, "number of points (0 = paper cardinality)")
+		dims = flag.Int("dims", 0, "dimensions for hep (default 10); others are 2-d")
+		seed = flag.Int64("seed", 1, "generator seed")
+		out  = flag.String("o", "", "output CSV path (default <name>.csv)")
+	)
+	flag.Parse()
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "kdvgen: -name required (elnino|crime|home|hep)")
+		os.Exit(2)
+	}
+
+	var pts geom.Points
+	var err error
+	if *name == "hep" && *dims > 0 {
+		pts = dataset.Hep(sizeOf(*name, *n), *dims, *seed)
+	} else {
+		pts, err = dataset.Generate(*name, *n, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	path := *out
+	if path == "" {
+		path = *name + ".csv"
+	}
+	if err := dataset.SaveFile(path, pts); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "kdvgen: wrote %d %d-d points to %s\n", pts.Len(), pts.Dim, path)
+}
+
+func sizeOf(name string, n int) int {
+	if n > 0 {
+		return n
+	}
+	return dataset.PaperSizes[name]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kdvgen:", err)
+	os.Exit(1)
+}

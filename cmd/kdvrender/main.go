@@ -1,0 +1,198 @@
+// Command kdvrender renders a kernel density color map for a CSV dataset
+// (or a named synthetic analogue) as a PNG — the library's end-user tool.
+//
+// Usage:
+//
+//	kdvrender -data crime.csv -o heat.png -res 640x480 -eps 0.01
+//	kdvrender -gen crime -n 100000 -o heat.png                 # synthetic
+//	kdvrender -gen home -tau mu+0.1 -o hotspots.png            # τKDV map
+//	kdvrender -gen crime -progressive 500ms -o quick.png       # budgeted
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	quad "github.com/quadkdv/quad"
+	"github.com/quadkdv/quad/internal/dataset"
+)
+
+func main() {
+	var (
+		dataPath = flag.String("data", "", "CSV dataset (2 numeric columns)")
+		gen      = flag.String("gen", "", "generate a synthetic analogue: elnino|crime|home|hep")
+		n        = flag.Int("n", 100000, "points to generate with -gen")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		out      = flag.String("o", "kdv.png", "output PNG path")
+		resFlag  = flag.String("res", "640x480", "raster resolution WxH")
+		eps      = flag.Float64("eps", 0.01, "εKDV relative error")
+		kernName = flag.String("kernel", "gaussian", "kernel: gaussian|triangular|cosine|exponential|epanechnikov|quartic|uniform")
+		method   = flag.String("method", "quad", "method: quad|karl|minmax|exact|zorder")
+		tauSpec  = flag.String("tau", "", "render a τKDV map instead; 'mu', 'mu+0.2', 'mu-0.1' or a number")
+		progress = flag.Duration("progressive", 0, "progressive render with this time budget")
+		logScale = flag.Bool("log", true, "logarithmic color scale")
+		windowF  = flag.String("window", "", "pan/zoom window minX,minY,maxX,maxY (default: dataset bounds)")
+	)
+	flag.Parse()
+
+	pts, err := loadPoints(*dataPath, *gen, *n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	kern, err := quad.ParseKernel(*kernName)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := quad.ParseMethod(*method)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := parseRes(*resFlag)
+	if err != nil {
+		fatal(err)
+	}
+	window, err := parseWindow(*windowF)
+	if err != nil {
+		fatal(err)
+	}
+	k, err := quad.New(pts.Coords, pts.Dim, quad.WithKernel(kern), quad.WithMethod(m), quad.WithZOrderGuarantee(*eps, 0.2))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "kdvrender: %d points, kernel=%s method=%s γ=%.4g\n", k.Len(), kern, m, k.Gamma())
+
+	start := time.Now()
+	switch {
+	case *tauSpec != "":
+		tau, err := resolveTau(k, res, *tauSpec, *eps)
+		if err != nil {
+			fatal(err)
+		}
+		hm, err := k.RenderTauIn(res, tau, window)
+		if err != nil {
+			fatal(err)
+		}
+		if err := hm.SavePNG(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "kdvrender: τ=%.4g, %.1f%% hot, %s → %s\n",
+			tau, hm.HotFraction()*100, time.Since(start).Round(time.Millisecond), *out)
+	case *progress > 0:
+		r, err := k.RenderProgressive(res, *eps, *progress, 0)
+		if err != nil {
+			fatal(err)
+		}
+		if err := r.Map.SavePNG(*out, *logScale); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "kdvrender: progressive %d/%d pixels in %s → %s\n",
+			r.Evaluated, res.W*res.H, r.Elapsed.Round(time.Millisecond), *out)
+	default:
+		dm, err := k.RenderEpsIn(res, *eps, window)
+		if err != nil {
+			fatal(err)
+		}
+		if err := dm.SavePNG(*out, *logScale); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "kdvrender: ε=%.3g render in %s → %s\n",
+			*eps, time.Since(start).Round(time.Millisecond), *out)
+	}
+}
+
+func loadPoints(dataPath, gen string, n int, seed int64) (struct {
+	Coords []float64
+	Dim    int
+}, error) {
+	var out struct {
+		Coords []float64
+		Dim    int
+	}
+	switch {
+	case dataPath != "":
+		pts, err := dataset.LoadFile(dataPath)
+		if err != nil {
+			return out, err
+		}
+		pts = dataset.First2D(pts)
+		out.Coords, out.Dim = pts.Coords, pts.Dim
+	case gen != "":
+		pts, err := dataset.Generate(gen, n, seed)
+		if err != nil {
+			return out, err
+		}
+		pts = dataset.First2D(pts)
+		out.Coords, out.Dim = pts.Coords, pts.Dim
+	default:
+		return out, fmt.Errorf("one of -data or -gen is required")
+	}
+	return out, nil
+}
+
+func resolveTau(k *quad.KDV, res quad.Resolution, spec string, eps float64) (float64, error) {
+	spec = strings.TrimSpace(strings.ToLower(spec))
+	if v, err := strconv.ParseFloat(spec, 64); err == nil {
+		return v, nil
+	}
+	if !strings.HasPrefix(spec, "mu") {
+		return 0, fmt.Errorf("bad τ spec %q", spec)
+	}
+	mult := 0.0
+	if rest := spec[2:]; rest != "" {
+		v, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad τ spec %q", spec)
+		}
+		mult = v
+	}
+	stride := 1 + res.W*res.H/4096
+	mu, sigma, err := k.ThresholdStats(res, stride, eps)
+	if err != nil {
+		return 0, err
+	}
+	return mu + mult*sigma, nil
+}
+
+func parseWindow(s string) (quad.Window, error) {
+	if s == "" {
+		return quad.Window{}, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return quad.Window{}, fmt.Errorf("bad window %q (want minX,minY,maxX,maxY)", s)
+	}
+	vals := make([]float64, 4)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return quad.Window{}, fmt.Errorf("bad window %q: %v", s, err)
+		}
+		vals[i] = v
+	}
+	return quad.Window{MinX: vals[0], MinY: vals[1], MaxX: vals[2], MaxY: vals[3]}, nil
+}
+
+func parseRes(s string) (quad.Resolution, error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) != 2 {
+		return quad.Resolution{}, fmt.Errorf("bad resolution %q", s)
+	}
+	w, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return quad.Resolution{}, err
+	}
+	h, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return quad.Resolution{}, err
+	}
+	return quad.Resolution{W: w, H: h}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kdvrender:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,41 @@
+// Command kdvserve runs an HTTP kernel density visualization server — the
+// interactive front-end shape the paper's motivating platforms (ArcGIS,
+// QGIS) consume KDV through.
+//
+//	kdvserve -addr :8080 -n 100000
+//
+// Then e.g.:
+//
+//	curl 'http://localhost:8080/render?dataset=crime&res=640x480&eps=0.01' > heat.png
+//	curl 'http://localhost:8080/hotspots?dataset=crime&tau=mu+0.2' > hot.png
+//	curl 'http://localhost:8080/progressive?dataset=home&budget=500ms' > quick.png
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"github.com/quadkdv/quad/internal/serve"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8080", "listen address")
+		n    = flag.Int("n", 100000, "default dataset cardinality")
+	)
+	flag.Parse()
+
+	s := serve.NewServer()
+	if *n > 0 {
+		s.DefaultN = *n
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("kdvserve: listening on %s (default n=%d)", *addr, s.DefaultN)
+	log.Fatal(srv.ListenAndServe())
+}

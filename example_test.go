@@ -1,0 +1,125 @@
+package quad_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	quad "github.com/quadkdv/quad"
+)
+
+// examplePoints builds a small deterministic cluster around (1, 2).
+func examplePoints() [][]float64 {
+	rng := rand.New(rand.NewSource(7))
+	pts := make([][]float64, 5000)
+	for i := range pts {
+		pts[i] = []float64{1 + rng.NormFloat64()*0.5, 2 + rng.NormFloat64()*0.5}
+	}
+	return pts
+}
+
+func ExampleNewFromPoints() {
+	kdv, err := quad.NewFromPoints(examplePoints())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("points:", kdv.Len())
+	fmt.Println("kernel:", kdv.KernelFunc())
+	fmt.Println("method:", kdv.EvalMethod())
+	// Output:
+	// points: 5000
+	// kernel: gaussian
+	// method: quad
+}
+
+func ExampleKDV_Estimate() {
+	kdv, err := quad.NewFromPoints(examplePoints())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// The cluster center is dense; a far corner is not.
+	center, _ := kdv.Estimate([]float64{1, 2}, 0.01)
+	far, _ := kdv.Estimate([]float64{8, 8}, 0.01)
+	fmt.Println("center is denser:", center > 1000*far)
+	// Output:
+	// center is denser: true
+}
+
+func ExampleKDV_IsHot() {
+	kdv, err := quad.NewFromPoints(examplePoints())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	d, _ := kdv.Density([]float64{1, 2})
+	hot, _ := kdv.IsHot([]float64{1, 2}, d/2)
+	cold, _ := kdv.IsHot([]float64{1, 2}, d*2)
+	fmt.Println(hot, cold)
+	// Output:
+	// true false
+}
+
+func ExampleKDV_RenderEps() {
+	kdv, err := quad.NewFromPoints(examplePoints())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	dm, err := kdv.RenderEps(quad.Resolution{W: 64, H: 48}, 0.01)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("pixels:", len(dm.Values))
+	mu, _ := dm.MuSigma()
+	fmt.Println("positive mean density:", mu > 0)
+	// Output:
+	// pixels: 3072
+	// positive mean density: true
+}
+
+func ExampleNewClassifier() {
+	rng := rand.New(rand.NewSource(9))
+	classes := map[string][][]float64{}
+	for label, cx := range map[string]float64{"west": 0, "east": 10} {
+		pts := make([][]float64, 2000)
+		for i := range pts {
+			pts[i] = []float64{cx + rng.NormFloat64(), rng.NormFloat64()}
+		}
+		classes[label] = pts
+	}
+	clf, err := quad.NewClassifier(classes, quad.Gaussian, 0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	a, _ := clf.Classify([]float64{0, 0})
+	b, _ := clf.Classify([]float64{10, 0})
+	fmt.Println(a, b)
+	// Output:
+	// west east
+}
+
+func ExampleNewRegressor() {
+	rng := rand.New(rand.NewSource(11))
+	// y = 2x with noise.
+	x := make([][]float64, 3000)
+	y := make([]float64, 3000)
+	for i := range x {
+		v := rng.Float64() * 10
+		x[i] = []float64{v}
+		y[i] = 2*v + rng.NormFloat64()*0.1
+	}
+	reg, err := quad.NewRegressor(x, y, quad.Gaussian, 2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	pred, ok, _ := reg.Predict([]float64{5}, 1e-4)
+	fmt.Println("defined:", ok)
+	fmt.Println("close to 10:", pred > 9.5 && pred < 10.5)
+	// Output:
+	// defined: true
+	// close to 10: true
+}

@@ -1,0 +1,57 @@
+// Quickstart: build a KDV instance over a point cloud, query densities with
+// an ε guarantee, and render a heat map PNG — the smallest end-to-end use of
+// the library.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	quad "github.com/quadkdv/quad"
+)
+
+func main() {
+	// A toy dataset: three clusters of "events" on a 10×10 map.
+	rng := rand.New(rand.NewSource(42))
+	centers := [][2]float64{{2, 2}, {7, 3}, {5, 8}}
+	points := make([][]float64, 0, 30000)
+	for i := 0; i < 30000; i++ {
+		c := centers[rng.Intn(len(centers))]
+		points = append(points, []float64{
+			c[0] + rng.NormFloat64()*0.5,
+			c[1] + rng.NormFloat64()*0.5,
+		})
+	}
+
+	// Defaults: Gaussian kernel, Scott's-rule bandwidth, QUAD bounds.
+	kdv, err := quad.NewFromPoints(points)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d points, γ=%.4g, w=%.3g\n", kdv.Len(), kdv.Gamma(), kdv.Weight())
+
+	// Point queries: Estimate is within ε of the exact density.
+	for _, q := range [][]float64{{2, 2}, {5, 8}, {9.5, 9.5}} {
+		est, err := kdv.Estimate(q, 0.01)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exact, err := kdv.Density(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("density at (%.1f, %.1f): ε-estimate %.6g (exact %.6g)\n", q[0], q[1], est, exact)
+	}
+
+	// Full εKDV color map.
+	dm, err := kdv.RenderEps(quad.Resolution{W: 320, H: 240}, 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dm.SavePNG("quickstart_heatmap.png", true); err != nil {
+		log.Fatal(err)
+	}
+	mu, sigma := dm.MuSigma()
+	fmt.Printf("rendered 320x240 εKDV map (μ=%.4g, σ=%.4g) → quickstart_heatmap.png\n", mu, sigma)
+}

@@ -1,0 +1,3 @@
+module github.com/quadkdv/quad
+
+go 1.22

@@ -1,0 +1,441 @@
+// Package bounds implements the node-level lower/upper bound functions for
+// kernel aggregation (paper Sections 3–5). All methods share the indexing
+// framework of Section 3.2; they differ only in how LB_R(q) and UB_R(q) are
+// derived from a node's bounding rectangle and aggregate statistics:
+//
+//	MinMax     — w·|P|·K(maxdist) / w·|P|·K(mindist), the aKDE [17] and
+//	             tKDC [13] bounds (Equations 5–6).
+//	Linear     — KARL's [7] linear envelopes of exp(−x): chord upper bound,
+//	             tangent lower bound (Section 3.3). Gaussian kernel only.
+//	Quadratic  — QUAD's quadratic envelopes: Section 4 (Gaussian, O(d²))
+//	             and Section 5 / appendix 9.6 (triangular, cosine,
+//	             exponential, O(d)); extension kernels get partially exact
+//	             envelopes where the profile shape permits.
+//
+// Every bound is floored at 0 and capped at w·|P|·K(0); these clamps never
+// loosen a bound (the aggregate always lies in that range) and protect
+// downstream termination tests from stray negative values.
+package bounds
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/quadkdv/quad/internal/geom"
+	"github.com/quadkdv/quad/internal/kdtree"
+	"github.com/quadkdv/quad/internal/kernel"
+)
+
+// Method selects a bound family.
+type Method int
+
+const (
+	// MinMax is the aKDE/tKDC rectangle-distance bound.
+	MinMax Method = iota
+	// Linear is KARL's linear bound (Gaussian only).
+	Linear
+	// Quadratic is QUAD's quadratic bound — this paper's contribution.
+	Quadratic
+)
+
+// String returns the method's canonical name.
+func (m Method) String() string {
+	switch m {
+	case MinMax:
+		return "minmax"
+	case Linear:
+		return "linear"
+	case Quadratic:
+		return "quadratic"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// ParseMethod maps a name back to a Method.
+func ParseMethod(name string) (Method, error) {
+	for _, m := range []Method{MinMax, Linear, Quadratic} {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("bounds: unknown method %q", name)
+}
+
+// Evaluator computes node bounds for one (kernel, γ, w, method)
+// configuration. It owns a scratch buffer, so a single Evaluator must not be
+// shared across goroutines; Clone one per worker instead.
+type Evaluator struct {
+	Kern   kernel.Kernel
+	Gamma  float64
+	Weight float64
+	Method Method
+
+	needGram bool
+	useBall  bool
+	tChoice  TangentChoice
+	scratch  []float64
+}
+
+// TangentChoice selects the tangent point t of the Gaussian lower-bound
+// envelopes (paper Equation 3 picks the mean of the x_i; the alternatives
+// exist for the DESIGN.md ablation).
+type TangentChoice int
+
+const (
+	// TangentMean is t* = (γ/|P|)·Σdist² — the paper's choice (Equation 3).
+	TangentMean TangentChoice = iota
+	// TangentMidpoint is t = (x_min + x_max)/2.
+	TangentMidpoint
+	// TangentXMax is t = x_max (the quadratic lower bound degenerates to
+	// the chord-anchored parabola at the right endpoint).
+	TangentXMax
+)
+
+// SetTangentChoice selects the lower-bound tangent strategy (default
+// TangentMean, the paper's Equation 3).
+func (e *Evaluator) SetTangentChoice(tc TangentChoice) { e.tChoice = tc }
+
+// tangentPoint computes the configured tangent point, clamped into
+// [xmin, xmax]. mean is the precomputed Equation 3 value.
+func (e *Evaluator) tangentPoint(mean, xmin, xmax float64) float64 {
+	switch e.tChoice {
+	case TangentMidpoint:
+		return (xmin + xmax) / 2
+	case TangentXMax:
+		return xmax
+	default:
+		return clampT(mean, xmin, xmax)
+	}
+}
+
+// NewEvaluator validates the configuration and returns an evaluator for
+// points of dimension dim.
+func NewEvaluator(kern kernel.Kernel, gamma, weight float64, method Method, dim int) (*Evaluator, error) {
+	if !kern.Valid() {
+		return nil, fmt.Errorf("bounds: invalid kernel %d", int(kern))
+	}
+	if gamma <= 0 {
+		return nil, fmt.Errorf("bounds: gamma must be positive, got %g", gamma)
+	}
+	if weight <= 0 {
+		return nil, fmt.Errorf("bounds: weight must be positive, got %g", weight)
+	}
+	if method == Linear && !kern.HasLinearBounds() {
+		return nil, fmt.Errorf("bounds: linear (KARL) bounds are not available for the %s kernel (paper Section 5.1)", kern)
+	}
+	if dim <= 0 {
+		return nil, fmt.Errorf("bounds: dimension must be positive, got %d", dim)
+	}
+	e := &Evaluator{
+		Kern:    kern,
+		Gamma:   gamma,
+		Weight:  weight,
+		Method:  method,
+		scratch: make([]float64, dim),
+	}
+	e.needGram = method == Quadratic && (kern == kernel.Gaussian || kern == kernel.Quartic)
+	return e, nil
+}
+
+// Clone returns an independent evaluator with its own scratch buffer.
+func (e *Evaluator) Clone() *Evaluator {
+	c := *e
+	c.scratch = make([]float64, len(e.scratch))
+	return &c
+}
+
+// NeedsGram reports whether this evaluator requires the kd-tree's Gram
+// statistic (Gaussian and quartic quadratic bounds do).
+func (e *Evaluator) NeedsGram() bool { return e.needGram }
+
+// SetBallTightening toggles combining the node's bounding-ball distances
+// with the MBR distances when deriving [x_min, x_max]: the intersection of
+// the two enclosures gives a narrower distance interval (hence tighter
+// envelopes for every method) at the cost of one extra distance computation
+// per node. The paper's baselines use the MBR only, so this is off by
+// default and exercised as an ablation.
+func (e *Evaluator) SetBallTightening(on bool) { e.useBall = on }
+
+// BallTightening reports whether ball tightening is enabled.
+func (e *Evaluator) BallTightening() bool { return e.useBall }
+
+// Bounds returns LB_R(q) ≤ F_R(q) ≤ UB_R(q) for the node.
+func (e *Evaluator) Bounds(n *kdtree.Node, q []float64) (lb, ub float64) {
+	if n.SumW == 0 {
+		// All-zero weights contribute nothing (and would otherwise produce
+		// 0/0 in the tangent-point formulas).
+		return 0, 0
+	}
+	mind2 := n.Rect.MinDist2(q)
+	maxd2 := n.Rect.MaxDist2(q)
+	if e.useBall {
+		dc := math.Sqrt(geom.Dist2(q, n.Center))
+		if bmin := dc - n.Radius; bmin > 0 {
+			if b2 := bmin * bmin; b2 > mind2 {
+				mind2 = b2
+			}
+		}
+		bmax := dc + n.Radius
+		if b2 := bmax * bmax; b2 < maxd2 {
+			maxd2 = b2
+		}
+	}
+	xmin := e.Kern.X(e.Gamma, mind2)
+	xmax := e.Kern.X(e.Gamma, maxd2)
+
+	switch e.Method {
+	case MinMax:
+		lb, ub = e.minMax(n, xmin, xmax)
+	case Linear:
+		lb, ub = e.linearGaussian(n, q, xmin, xmax)
+	case Quadratic:
+		lb, ub = e.quadratic(n, q, xmin, xmax)
+	default:
+		panic("bounds: invalid method")
+	}
+	return e.clamp(n, lb, ub)
+}
+
+// clamp floors lb at 0, caps ub at w·|P|·K(0), and repairs any floating-
+// point inversion (lb marginally above ub) by widening to the safe side.
+func (e *Evaluator) clamp(n *kdtree.Node, lb, ub float64) (float64, float64) {
+	cap := e.Weight * n.SumW * e.Kern.ProfileMax()
+	if lb < 0 {
+		lb = 0
+	}
+	if ub > cap {
+		ub = cap
+	}
+	if lb > ub {
+		lb = ub
+	}
+	return lb, ub
+}
+
+func (e *Evaluator) minMax(n *kdtree.Node, xmin, xmax float64) (lb, ub float64) {
+	w := e.Weight * n.SumW
+	return w * e.Kern.Profile(xmax), w * e.Kern.Profile(xmin)
+}
+
+// linearGaussian implements KARL's bounds for exp(−γ·dist²)
+// (paper Section 3.3, Lemma 1): with x_i = γ·dist², the aggregated linear
+// envelope is w·(m·γ·Σdist² + k·|P|), and Σdist² is O(d) from node stats.
+func (e *Evaluator) linearGaussian(n *kdtree.Node, q []float64, xmin, xmax float64) (lb, ub float64) {
+	sumX := e.Gamma * n.SumDist2(q, e.scratch)
+	up := kernel.ExpChordUpper(xmin, xmax)
+	ub = e.Weight * (up.M*sumX + up.K*n.SumW)
+	t := e.tangentPoint(sumX/n.SumW, xmin, xmax) // Equation 3 by default
+	lo := kernel.ExpTangentLower(t)
+	lb = e.Weight * (lo.M*sumX + lo.K*n.SumW)
+	return lb, ub
+}
+
+func (e *Evaluator) quadratic(n *kdtree.Node, q []float64, xmin, xmax float64) (lb, ub float64) {
+	switch e.Kern {
+	case kernel.Gaussian:
+		return e.quadGaussian(n, q, xmin, xmax)
+	case kernel.Triangular:
+		return e.quadTriangular(n, q, xmin, xmax)
+	case kernel.Cosine:
+		return e.quadCosine(n, q, xmin, xmax)
+	case kernel.Exponential:
+		return e.quadExponential(n, q, xmin, xmax)
+	case kernel.Epanechnikov:
+		return e.quadEpanechnikov(n, q, xmin, xmax)
+	case kernel.Quartic:
+		return e.quadQuartic(n, q, xmin, xmax)
+	default: // Uniform: flat discontinuous profile, only min-max applies.
+		return e.minMax(n, xmin, xmax)
+	}
+}
+
+// quadGaussian implements paper Section 4: quadratic envelopes of exp(−x)
+// with x = γ·dist², aggregated through Σx = γ·Σdist² and Σx² = γ²·Σdist⁴
+// (Lemma 3, O(d²)).
+func (e *Evaluator) quadGaussian(n *kdtree.Node, q []float64, xmin, xmax float64) (lb, ub float64) {
+	s2, s4 := n.SumDist24(q, e.scratch)
+	sumX := e.Gamma * s2
+	sumX2 := e.Gamma * e.Gamma * s4
+	qu := kernel.ExpQuadUpper(xmin, xmax)
+	ub = e.Weight * (qu.A*sumX2 + qu.B*sumX + qu.C*n.SumW)
+	t := e.tangentPoint(sumX/n.SumW, xmin, xmax) // t* of Equation 3 by default
+	ql := kernel.ExpQuadLower(xmin, xmax, t)
+	lb = e.Weight * (ql.A*sumX2 + ql.B*sumX + ql.C*n.SumW)
+	return lb, ub
+}
+
+// quadTriangular implements paper Section 5.2 for max(1 − γ·dist, 0).
+func (e *Evaluator) quadTriangular(n *kdtree.Node, q []float64, xmin, xmax float64) (lb, ub float64) {
+	if xmin >= 1 {
+		return 0, 0
+	}
+	sumX2 := e.Gamma * e.Gamma * n.SumDist2(q, e.scratch)
+	if qu, ok := kernel.TriangularQuadUpper(xmin, xmax); ok {
+		ub = e.Weight * (qu.A*sumX2 + qu.C*n.SumW)
+	} else {
+		ub = e.Weight * n.SumW * e.Kern.Profile(xmin)
+	}
+	// The optimal shifted parabola (Theorem 2) is a valid lower bound for
+	// every x ≥ 0; it beats the min-max bound whenever all x_i ≤ 1
+	// (Lemma 6), and we keep the better of the two in general.
+	lb = kernel.TriangularQuadLowerValue(e.Weight, n.SumW, sumX2)
+	if mm := e.Weight * n.SumW * e.Kern.Profile(xmax); mm > lb {
+		lb = mm
+	}
+	return lb, ub
+}
+
+// quadCosine implements paper appendix 9.6.1–9.6.2 for cos(γ·dist) with
+// support γ·dist ≤ π/2. When the node's distance interval leaves the
+// support, the quadratic envelopes of cos no longer apply and we fall back
+// to min-max bounds, exactly as the construction in the paper assumes
+// 0 ≤ x ≤ π/2.
+func (e *Evaluator) quadCosine(n *kdtree.Node, q []float64, xmin, xmax float64) (lb, ub float64) {
+	if xmin >= math.Pi/2 {
+		return 0, 0
+	}
+	if xmax > math.Pi/2 {
+		return e.minMax(n, xmin, xmax)
+	}
+	sumX2 := e.Gamma * e.Gamma * n.SumDist2(q, e.scratch)
+	if qu, ok := kernel.CosineQuadUpper(xmin, xmax); ok {
+		ub = e.Weight * (qu.A*sumX2 + qu.C*n.SumW)
+	} else {
+		ub = e.Weight * n.SumW * e.Kern.Profile(xmin)
+	}
+	if ql, ok := kernel.CosineQuadLower(xmin, xmax); ok {
+		lb = e.Weight * (ql.A*sumX2 + ql.C*n.SumW)
+	} else {
+		lb = e.Weight * n.SumW * e.Kern.Profile(xmax)
+	}
+	return lb, ub
+}
+
+// quadExponential implements paper appendix 9.6.3–9.6.4 for exp(−γ·dist).
+func (e *Evaluator) quadExponential(n *kdtree.Node, q []float64, xmin, xmax float64) (lb, ub float64) {
+	s2 := n.SumDist2(q, e.scratch)
+	sumX2 := e.Gamma * e.Gamma * s2
+	if qu, ok := kernel.ExpDistQuadUpper(xmin, xmax); ok {
+		ub = e.Weight * (qu.A*sumX2 + qu.C*n.SumW)
+	} else {
+		ub = e.Weight * n.SumW * e.Kern.Profile(xmin)
+	}
+	// t* = sqrt(γ²·Σdist²/|P|) (Equation 18), clamped into the interval so
+	// the tangent point stays within the node's reachable x range.
+	t := clampT(math.Sqrt(sumX2/n.SumW), xmin, xmax)
+	if ql, ok := kernel.ExpDistQuadLower(t); ok {
+		lb = e.Weight * (ql.A*sumX2 + ql.C*n.SumW)
+	} else {
+		lb = e.Weight * n.SumW * e.Kern.Profile(xmax)
+	}
+	return lb, ub
+}
+
+// quadEpanechnikov: the profile max(1−x², 0) coincides with the quadratic
+// 1−x² on its support, so the aggregate is EXACT (lb = ub) whenever the
+// whole node lies inside the support; otherwise 1−x² still lower-bounds the
+// profile everywhere and min-max supplies the upper bound.
+func (e *Evaluator) quadEpanechnikov(n *kdtree.Node, q []float64, xmin, xmax float64) (lb, ub float64) {
+	if xmin >= 1 {
+		return 0, 0
+	}
+	sumX2 := e.Gamma * e.Gamma * n.SumDist2(q, e.scratch)
+	exactish := kernel.EpanechnikovQuadLowerValue(e.Weight, n.SumW, sumX2)
+	if xmax <= 1 {
+		return exactish, exactish
+	}
+	lb = exactish
+	if mm := e.Weight * n.SumW * e.Kern.Profile(xmax); mm > lb {
+		lb = mm
+	}
+	ub = e.Weight * n.SumW * e.Kern.Profile(xmin)
+	return lb, ub
+}
+
+// quadQuartic: with y = x², the profile is (1−y)² on its support, a
+// quadratic in y — so the aggregate 1 − 2Σx² + Σx⁴ is EXACT when the node
+// lies inside the support and remains a valid upper bound beyond it. Σx⁴
+// reuses the Σdist⁴ statistic (O(d²)).
+func (e *Evaluator) quadQuartic(n *kdtree.Node, q []float64, xmin, xmax float64) (lb, ub float64) {
+	if xmin >= 1 {
+		return 0, 0
+	}
+	g2 := e.Gamma * e.Gamma
+	s2, s4 := n.SumDist24(q, e.scratch)
+	sumX2 := g2 * s2
+	sumX4 := g2 * g2 * s4
+	ub = kernel.QuarticQuadUpperValue(e.Weight, n.SumW, sumX2, sumX4)
+	if xmax <= 1 {
+		return ub, ub
+	}
+	lb = e.Weight * n.SumW * e.Kern.Profile(xmax)
+	return lb, ub
+}
+
+// clampT restricts a tangent/interpolation parameter into [xmin, xmax].
+func clampT(t, xmin, xmax float64) float64 {
+	if t < xmin {
+		return xmin
+	}
+	if t > xmax {
+		return xmax
+	}
+	return t
+}
+
+// ExactNode computes the exact contribution F_R(q) of a node by scanning its
+// point range — the leaf-refinement step of the indexing framework. The
+// tree supplies the per-point weights (uniform 1 when unweighted).
+func (e *Evaluator) ExactNode(t *kdtree.Tree, n *kdtree.Node, q []float64) float64 {
+	pts := t.Pts
+	d := pts.Dim
+	coords := pts.Coords
+	var sum float64
+	if t.Weights == nil {
+		for i := n.Start; i < n.End; i++ {
+			row := coords[i*d : i*d+d]
+			var dist2 float64
+			for k, v := range q {
+				dd := v - row[k]
+				dist2 += dd * dd
+			}
+			sum += e.Kern.Eval(e.Gamma, dist2)
+		}
+	} else {
+		for i := n.Start; i < n.End; i++ {
+			row := coords[i*d : i*d+d]
+			var dist2 float64
+			for k, v := range q {
+				dd := v - row[k]
+				dist2 += dd * dd
+			}
+			sum += t.Weights[i] * e.Kern.Eval(e.Gamma, dist2)
+		}
+	}
+	return e.Weight * sum
+}
+
+// ExactScan computes F_P(q) by a full sequential scan over pts — the EXACT
+// baseline of the paper's evaluation (Table 6). weights may be nil for the
+// uniform case; otherwise it must be parallel to pts.
+func ExactScan(pts geom.Points, weights []float64, kern kernel.Kernel, gamma, weight float64, q []float64) float64 {
+	var sum float64
+	d := pts.Dim
+	coords := pts.Coords
+	n := pts.Len()
+	for i := 0; i < n; i++ {
+		row := coords[i*d : i*d+d]
+		var dist2 float64
+		for k, v := range q {
+			dd := v - row[k]
+			dist2 += dd * dd
+		}
+		kv := kern.Eval(gamma, dist2)
+		if weights != nil {
+			kv *= weights[i]
+		}
+		sum += kv
+	}
+	return weight * sum
+}

@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/quadkdv/quad/internal/bounds"
+	"github.com/quadkdv/quad/internal/kernel"
+)
+
+func TestRefinerConvergesToExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(150))
+	pts := clusteredPoints(rng, 1000)
+	e := buildEngine(t, pts, kernel.Gaussian, 0.5, bounds.Quadratic)
+	q := []float64{5, 5}
+	exact := e.Exact(q)
+
+	r := e.StartRefine(q)
+	prevGap := math.Inf(1)
+	steps := 0
+	for !r.Exhausted() {
+		lb, ub := r.Bounds()
+		if lb > exact+1e-9*(1+exact) || ub < exact-1e-9*(1+exact) {
+			t.Fatalf("step %d: bounds [%g, %g] do not sandwich %g", steps, lb, ub, exact)
+		}
+		r.Step()
+		steps++
+		if steps > 1_000_000 {
+			t.Fatal("refiner did not exhaust")
+		}
+		_ = prevGap
+	}
+	lb, ub := r.Bounds()
+	if lb != ub {
+		t.Errorf("exhausted refiner has open interval [%g, %g]", lb, ub)
+	}
+	if math.Abs(lb-exact) > 1e-9*(1+exact) {
+		t.Errorf("exhausted value %g, exact %g", lb, exact)
+	}
+	if r.Stats().Iterations != steps {
+		t.Errorf("stats iterations %d, stepped %d", r.Stats().Iterations, steps)
+	}
+}
+
+func TestRefinerGapShrinksMonotonically(t *testing.T) {
+	// The max-gap pop order guarantees the TOTAL gap never grows after a
+	// leaf refinement and shrinks when a node's children are tighter; check
+	// it trends to 0.
+	rng := rand.New(rand.NewSource(151))
+	pts := clusteredPoints(rng, 2000)
+	e := buildEngine(t, pts, kernel.Gaussian, 0.5, bounds.Quadratic)
+	r := e.StartRefine([]float64{3, 7})
+	first := r.Gap()
+	for i := 0; i < 50 && !r.Exhausted(); i++ {
+		r.Step()
+	}
+	mid := r.Gap()
+	for !r.Exhausted() {
+		r.Step()
+	}
+	last := r.Gap()
+	if !(first >= mid && mid >= last-1e-15) {
+		t.Errorf("gap did not shrink: %g → %g → %g", first, mid, last)
+	}
+	if last != 0 {
+		t.Errorf("final gap %g, want 0", last)
+	}
+}
+
+func TestRefineUntilMatchesEvalEps(t *testing.T) {
+	rng := rand.New(rand.NewSource(152))
+	pts := clusteredPoints(rng, 1500)
+	e := buildEngine(t, pts, kernel.Gaussian, 0.5, bounds.Quadratic)
+	for trial := 0; trial < 20; trial++ {
+		q := []float64{rng.Float64() * 20, rng.Float64() * 15}
+		exact := e.Exact(q)
+		r := e.Clone().StartRefine(q)
+		lb, ub := r.RefineUntil(func(lb, ub float64) bool { return ub <= 1.01*lb })
+		if exact > 0 {
+			mid := (lb + ub) / 2
+			if rel := math.Abs(mid-exact) / exact; rel > 0.01 {
+				t.Fatalf("RefineUntil rel err %g", rel)
+			}
+		}
+	}
+}
+
+func TestRefinerDeepTail(t *testing.T) {
+	// Same drift regression as TestEpsGuaranteeDeepTail, via the stepwise
+	// API.
+	rng := rand.New(rand.NewSource(153))
+	pts := clusteredPoints(rng, 3000)
+	e := buildEngine(t, pts, kernel.Gaussian, 0.5, bounds.Quadratic)
+	q := []float64{40, 40}
+	exact := e.Exact(q)
+	if exact == 0 {
+		t.Skip("tail underflowed entirely")
+	}
+	r := e.StartRefine(q)
+	lb, ub := r.RefineUntil(func(lb, ub float64) bool { return ub <= 1.01*lb })
+	mid := (lb + ub) / 2
+	if rel := math.Abs(mid-exact) / exact; rel > 0.01 {
+		t.Fatalf("deep-tail stepwise rel err %g (got %g, exact %g)", rel, mid, exact)
+	}
+}
+
+func TestRefinerStatsAccumulate(t *testing.T) {
+	rng := rand.New(rand.NewSource(154))
+	pts := clusteredPoints(rng, 500)
+	e := buildEngine(t, pts, kernel.Gaussian, 0.5, bounds.Quadratic)
+	r := e.StartRefine([]float64{5, 5})
+	if r.Stats().NodesEvaluated != 1 {
+		t.Errorf("fresh refiner evaluated %d nodes, want 1 (root)", r.Stats().NodesEvaluated)
+	}
+	for !r.Exhausted() {
+		r.Step()
+	}
+	st := r.Stats()
+	if st.PointsScanned != 500 {
+		t.Errorf("full refinement scanned %d points, want 500", st.PointsScanned)
+	}
+	if st.LeafScans == 0 {
+		t.Error("no leaf scans recorded")
+	}
+}

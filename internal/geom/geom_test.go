@@ -1,0 +1,219 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDotNorm(t *testing.T) {
+	p := []float64{1, 2, 3}
+	q := []float64{4, -5, 6}
+	if got := Dot(p, q); got != 1*4+2*-5+3*6 {
+		t.Errorf("Dot = %g", got)
+	}
+	if got := Norm2(p); got != 14 {
+		t.Errorf("Norm2 = %g", got)
+	}
+}
+
+func TestDist(t *testing.T) {
+	p := []float64{0, 0}
+	q := []float64{3, 4}
+	if got := Dist2(p, q); got != 25 {
+		t.Errorf("Dist2 = %g", got)
+	}
+	if got := Dist(p, q); got != 5 {
+		t.Errorf("Dist = %g", got)
+	}
+}
+
+func TestPointsBasics(t *testing.T) {
+	ps := NewPoints([]float64{1, 2, 3, 4, 5, 6}, 2)
+	if ps.Len() != 3 {
+		t.Fatalf("Len = %d", ps.Len())
+	}
+	if got := ps.At(1); got[0] != 3 || got[1] != 4 {
+		t.Errorf("At(1) = %v", got)
+	}
+	ps.Swap(0, 2)
+	if got := ps.At(0); got[0] != 5 || got[1] != 6 {
+		t.Errorf("after Swap At(0) = %v", got)
+	}
+	sub := ps.Slice(1, 3)
+	if sub.Len() != 2 {
+		t.Errorf("Slice len = %d", sub.Len())
+	}
+	cl := ps.Clone()
+	cl.Coords[0] = 99
+	if ps.Coords[0] == 99 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestNewPointsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPoints with bad length did not panic")
+		}
+	}()
+	NewPoints([]float64{1, 2, 3}, 2)
+}
+
+func TestFromSlice(t *testing.T) {
+	ps := FromSlice([]Point{{1, 2}, {3, 4}})
+	if ps.Len() != 2 || ps.Dim != 2 {
+		t.Fatalf("FromSlice: len=%d dim=%d", ps.Len(), ps.Dim)
+	}
+	empty := FromSlice(nil)
+	if empty.Len() != 0 {
+		t.Errorf("empty FromSlice len = %d", empty.Len())
+	}
+}
+
+func TestFromSliceMismatchedDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FromSlice with mixed dims did not panic")
+		}
+	}()
+	FromSlice([]Point{{1, 2}, {3}})
+}
+
+func TestPointClone(t *testing.T) {
+	p := Point{1, 2}
+	c := p.Clone()
+	c[0] = 7
+	if p[0] != 1 {
+		t.Error("Point.Clone aliases original")
+	}
+}
+
+func TestRectExtendContains(t *testing.T) {
+	r := NewRect(2)
+	r.Extend([]float64{1, 5})
+	r.Extend([]float64{3, 2})
+	if !r.Contains([]float64{2, 3}) {
+		t.Error("rect should contain interior point")
+	}
+	if r.Contains([]float64{0, 3}) {
+		t.Error("rect should not contain exterior point")
+	}
+	c := r.Center(make([]float64, 2))
+	if c[0] != 2 || c[1] != 3.5 {
+		t.Errorf("Center = %v", c)
+	}
+	if r.Dim() != 2 {
+		t.Errorf("Dim = %d", r.Dim())
+	}
+}
+
+func TestBoundingRect(t *testing.T) {
+	ps := NewPoints([]float64{0, 0, 2, 3, -1, 1}, 2)
+	r := BoundingRect(ps)
+	if r.Min[0] != -1 || r.Min[1] != 0 || r.Max[0] != 2 || r.Max[1] != 3 {
+		t.Errorf("BoundingRect = %+v", r)
+	}
+}
+
+func TestMinMaxDistInside(t *testing.T) {
+	r := Rect{Min: []float64{0, 0}, Max: []float64{2, 2}}
+	q := []float64{1, 1}
+	if got := r.MinDist2(q); got != 0 {
+		t.Errorf("MinDist2 inside = %g", got)
+	}
+	if got := r.MaxDist2(q); got != 2 {
+		t.Errorf("MaxDist2 inside = %g", got)
+	}
+}
+
+func TestMinMaxDistOutside(t *testing.T) {
+	r := Rect{Min: []float64{0, 0}, Max: []float64{1, 1}}
+	q := []float64{3, 0.5}
+	if got := r.MinDist2(q); got != 4 {
+		t.Errorf("MinDist2 = %g, want 4", got)
+	}
+	want := 9.0 + 0.25
+	if got := r.MaxDist2(q); got != want {
+		t.Errorf("MaxDist2 = %g, want %g", got, want)
+	}
+}
+
+// TestMinMaxDistBracketActualPoints: for random rects and queries, the
+// distance to every point inside the rect must lie within
+// [MinDist, MaxDist] — the correctness contract the bound functions rely on.
+func TestMinMaxDistBracketActualPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 3000; trial++ {
+		dim := 1 + rng.Intn(4)
+		r := NewRect(dim)
+		a := make([]float64, dim)
+		b := make([]float64, dim)
+		for i := 0; i < dim; i++ {
+			a[i] = rng.NormFloat64() * 5
+			b[i] = a[i] + rng.Float64()*4
+		}
+		r.Extend(a)
+		r.Extend(b)
+		q := make([]float64, dim)
+		for i := range q {
+			q[i] = rng.NormFloat64() * 8
+		}
+		lo, hi := r.MinDist2(q), r.MaxDist2(q)
+		for k := 0; k < 10; k++ {
+			p := make([]float64, dim)
+			for i := range p {
+				p[i] = r.Min[i] + rng.Float64()*(r.Max[i]-r.Min[i])
+			}
+			d := Dist2(q, p)
+			if d < lo-1e-9 || d > hi+1e-9 {
+				t.Fatalf("point dist² %g outside [%g, %g]", d, lo, hi)
+			}
+		}
+	}
+}
+
+func TestLongestAxis(t *testing.T) {
+	r := Rect{Min: []float64{0, 0, 0}, Max: []float64{1, 5, 2}}
+	if got := r.LongestAxis(); got != 1 {
+		t.Errorf("LongestAxis = %d, want 1", got)
+	}
+}
+
+func TestRectClone(t *testing.T) {
+	r := Rect{Min: []float64{0}, Max: []float64{1}}
+	c := r.Clone()
+	c.Min[0] = -9
+	if r.Min[0] != 0 {
+		t.Error("Rect.Clone aliases original")
+	}
+}
+
+func TestMinDistQuick(t *testing.T) {
+	f := func(qa, qb, ra, rb, rc, rd float64) bool {
+		r := NewRect(2)
+		r.Extend([]float64{math.Mod(ra, 10), math.Mod(rb, 10)})
+		r.Extend([]float64{math.Mod(rc, 10), math.Mod(rd, 10)})
+		q := []float64{math.Mod(qa, 20), math.Mod(qb, 20)}
+		lo, hi := r.MinDist2(q), r.MaxDist2(q)
+		// MinDist ≤ MaxDist and dist to each corner lies between them.
+		if lo > hi+1e-12 {
+			return false
+		}
+		corners := [][]float64{
+			{r.Min[0], r.Min[1]}, {r.Min[0], r.Max[1]},
+			{r.Max[0], r.Min[1]}, {r.Max[0], r.Max[1]},
+		}
+		for _, c := range corners {
+			d := Dist2(q, c)
+			if d < lo-1e-9 || d > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package geom provides the low-level vector and rectangle geometry used by
+// the kd-tree index and the bound evaluators: d-dimensional points stored in
+// flat buffers, squared Euclidean distances, and minimum/maximum distances
+// between a query point and an axis-aligned bounding rectangle.
+//
+// All distance computations are exact floating-point formulas; no function in
+// this package allocates on the hot path.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a d-dimensional point. The dimensionality is len(p).
+type Point []float64
+
+// Clone returns a deep copy of p.
+func (p Point) Clone() Point {
+	q := make(Point, len(p))
+	copy(q, p)
+	return q
+}
+
+// Dot returns the inner product p·q. Both points must share a dimension.
+func Dot(p, q []float64) float64 {
+	var s float64
+	for i := range p {
+		s += p[i] * q[i]
+	}
+	return s
+}
+
+// Norm2 returns the squared Euclidean norm ‖p‖².
+func Norm2(p []float64) float64 {
+	var s float64
+	for _, v := range p {
+		s += v * v
+	}
+	return s
+}
+
+// Dist2 returns the squared Euclidean distance between p and q.
+func Dist2(p, q []float64) float64 {
+	var s float64
+	for i := range p {
+		d := p[i] - q[i]
+		s += d * d
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between p and q.
+func Dist(p, q []float64) float64 {
+	return math.Sqrt(Dist2(p, q))
+}
+
+// Points is a flat, row-major buffer of n points of dimension Dim.
+// Point i occupies Coords[i*Dim : (i+1)*Dim]. The flat layout keeps the
+// kd-tree build and the leaf scans cache-friendly and allocation-free.
+type Points struct {
+	Coords []float64
+	Dim    int
+}
+
+// NewPoints wraps a coordinate buffer. It panics if the buffer length is not
+// a multiple of dim, since that always indicates a programming error.
+func NewPoints(coords []float64, dim int) Points {
+	if dim <= 0 {
+		panic("geom: non-positive dimension")
+	}
+	if len(coords)%dim != 0 {
+		panic(fmt.Sprintf("geom: coordinate buffer length %d not a multiple of dim %d", len(coords), dim))
+	}
+	return Points{Coords: coords, Dim: dim}
+}
+
+// FromSlice builds a flat Points buffer from a slice of points. All points
+// must share the dimension of the first; it panics otherwise.
+func FromSlice(pts []Point) Points {
+	if len(pts) == 0 {
+		return Points{Dim: 1}
+	}
+	dim := len(pts[0])
+	coords := make([]float64, 0, len(pts)*dim)
+	for i, p := range pts {
+		if len(p) != dim {
+			panic(fmt.Sprintf("geom: point %d has dim %d, want %d", i, len(p), dim))
+		}
+		coords = append(coords, p...)
+	}
+	return NewPoints(coords, dim)
+}
+
+// Len returns the number of points.
+func (ps Points) Len() int { return len(ps.Coords) / ps.Dim }
+
+// At returns point i as a slice aliasing the underlying buffer.
+func (ps Points) At(i int) []float64 {
+	return ps.Coords[i*ps.Dim : (i+1)*ps.Dim]
+}
+
+// Swap exchanges points i and j in place.
+func (ps Points) Swap(i, j int) {
+	a := ps.At(i)
+	b := ps.At(j)
+	for k := range a {
+		a[k], b[k] = b[k], a[k]
+	}
+}
+
+// Slice returns the sub-buffer containing points [lo, hi).
+func (ps Points) Slice(lo, hi int) Points {
+	return Points{Coords: ps.Coords[lo*ps.Dim : hi*ps.Dim], Dim: ps.Dim}
+}
+
+// Clone returns a deep copy of the buffer.
+func (ps Points) Clone() Points {
+	c := make([]float64, len(ps.Coords))
+	copy(c, ps.Coords)
+	return Points{Coords: c, Dim: ps.Dim}
+}

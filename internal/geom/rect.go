@@ -1,0 +1,131 @@
+package geom
+
+import "math"
+
+// Rect is an axis-aligned bounding rectangle (hyper-rectangle) given by its
+// per-dimension minimum and maximum corners.
+type Rect struct {
+	Min, Max []float64
+}
+
+// NewRect returns a degenerate rectangle positioned for accumulation: every
+// minimum at +Inf and every maximum at −Inf, so that the first Extend sets
+// both corners.
+func NewRect(dim int) Rect {
+	r := Rect{Min: make([]float64, dim), Max: make([]float64, dim)}
+	for i := 0; i < dim; i++ {
+		r.Min[i] = math.Inf(1)
+		r.Max[i] = math.Inf(-1)
+	}
+	return r
+}
+
+// BoundingRect returns the minimum bounding rectangle of all points in ps.
+func BoundingRect(ps Points) Rect {
+	r := NewRect(ps.Dim)
+	n := ps.Len()
+	for i := 0; i < n; i++ {
+		r.Extend(ps.At(i))
+	}
+	return r
+}
+
+// Dim returns the rectangle's dimensionality.
+func (r Rect) Dim() int { return len(r.Min) }
+
+// Extend grows the rectangle to cover point p.
+func (r Rect) Extend(p []float64) {
+	for i, v := range p {
+		if v < r.Min[i] {
+			r.Min[i] = v
+		}
+		if v > r.Max[i] {
+			r.Max[i] = v
+		}
+	}
+}
+
+// Contains reports whether p lies inside the (closed) rectangle.
+func (r Rect) Contains(p []float64) bool {
+	for i, v := range p {
+		if v < r.Min[i] || v > r.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Center writes the rectangle's center into dst and returns it. dst must
+// have length Dim.
+func (r Rect) Center(dst []float64) []float64 {
+	for i := range r.Min {
+		dst[i] = (r.Min[i] + r.Max[i]) / 2
+	}
+	return dst
+}
+
+// MinDist2 returns the squared Euclidean distance from q to the nearest
+// point of the rectangle (zero when q is inside).
+func (r Rect) MinDist2(q []float64) float64 {
+	var s float64
+	for i, v := range q {
+		switch {
+		case v < r.Min[i]:
+			d := r.Min[i] - v
+			s += d * d
+		case v > r.Max[i]:
+			d := v - r.Max[i]
+			s += d * d
+		}
+	}
+	return s
+}
+
+// MaxDist2 returns the squared Euclidean distance from q to the farthest
+// point of the rectangle. Per dimension the farthest coordinate is whichever
+// corner is farther from q.
+func (r Rect) MaxDist2(q []float64) float64 {
+	var s float64
+	for i, v := range q {
+		dLo := v - r.Min[i]
+		dHi := r.Max[i] - v
+		if dLo < 0 {
+			dLo = -dLo
+		}
+		if dHi < 0 {
+			dHi = -dHi
+		}
+		d := dLo
+		if dHi > d {
+			d = dHi
+		}
+		s += d * d
+	}
+	return s
+}
+
+// MinDist returns the Euclidean distance from q to the rectangle.
+func (r Rect) MinDist(q []float64) float64 { return math.Sqrt(r.MinDist2(q)) }
+
+// MaxDist returns the maximum Euclidean distance from q to the rectangle.
+func (r Rect) MaxDist(q []float64) float64 { return math.Sqrt(r.MaxDist2(q)) }
+
+// LongestAxis returns the dimension with the largest side length, used as
+// the kd-tree split axis.
+func (r Rect) LongestAxis() int {
+	best, bestLen := 0, math.Inf(-1)
+	for i := range r.Min {
+		if l := r.Max[i] - r.Min[i]; l > bestLen {
+			best, bestLen = i, l
+		}
+	}
+	return best
+}
+
+// Clone returns a deep copy of the rectangle.
+func (r Rect) Clone() Rect {
+	c := Rect{Min: make([]float64, len(r.Min)), Max: make([]float64, len(r.Max))}
+	copy(c.Min, r.Min)
+	copy(c.Max, r.Max)
+	return c
+}

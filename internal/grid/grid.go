@@ -1,0 +1,120 @@
+// Package grid models the screen: a W×H pixel raster mapped onto a
+// two-dimensional data-space window. Each pixel's query point is the data
+// coordinate of the pixel center, following the KDV formulation in which
+// every pixel q gets a kernel density value F_P(q).
+package grid
+
+import (
+	"fmt"
+
+	"github.com/quadkdv/quad/internal/geom"
+)
+
+// Resolution is a screen size in pixels.
+type Resolution struct{ W, H int }
+
+// Standard resolutions used throughout the paper's evaluation (Section 7).
+var (
+	Res320x240   = Resolution{320, 240}
+	Res640x480   = Resolution{640, 480}
+	Res1280x960  = Resolution{1280, 960}
+	Res2560x1920 = Resolution{2560, 1920}
+)
+
+// String formats the resolution as "WxH".
+func (r Resolution) String() string { return fmt.Sprintf("%dx%d", r.W, r.H) }
+
+// Pixels returns the total pixel count.
+func (r Resolution) Pixels() int { return r.W * r.H }
+
+// Grid maps pixel coordinates to data-space query points over a window.
+type Grid struct {
+	Res    Resolution
+	Window geom.Rect // 2-d data-space window covered by the raster
+	stepX  float64
+	stepY  float64
+}
+
+// New creates a grid over the given window. The window must be
+// two-dimensional and non-degenerate in area; a zero-extent side is widened
+// by a tiny margin so every dataset (even a single point) gets a valid grid.
+func New(res Resolution, window geom.Rect) (*Grid, error) {
+	if res.W <= 0 || res.H <= 0 {
+		return nil, fmt.Errorf("grid: non-positive resolution %s", res)
+	}
+	if window.Dim() != 2 {
+		return nil, fmt.Errorf("grid: window must be 2-d, got %d-d", window.Dim())
+	}
+	w := window.Clone()
+	for i := 0; i < 2; i++ {
+		if w.Max[i] <= w.Min[i] {
+			c := w.Min[i]
+			w.Min[i] = c - 0.5
+			w.Max[i] = c + 0.5
+		}
+	}
+	return &Grid{
+		Res:    res,
+		Window: w,
+		stepX:  (w.Max[0] - w.Min[0]) / float64(res.W),
+		stepY:  (w.Max[1] - w.Min[1]) / float64(res.H),
+	}, nil
+}
+
+// ForDataset creates a grid whose window is the bounding rectangle of the
+// (2-d) dataset, expanded by marginFrac on each side so boundary hotspots
+// are not clipped.
+func ForDataset(res Resolution, pts geom.Points, marginFrac float64) (*Grid, error) {
+	if pts.Dim != 2 {
+		return nil, fmt.Errorf("grid: dataset must be 2-d, got %d-d", pts.Dim)
+	}
+	r := geom.BoundingRect(pts)
+	for i := 0; i < 2; i++ {
+		m := (r.Max[i] - r.Min[i]) * marginFrac
+		r.Min[i] -= m
+		r.Max[i] += m
+	}
+	return New(res, r)
+}
+
+// Query writes the data-space coordinate of pixel (px, py)'s center into dst
+// and returns it. Pixel (0,0) is the lower-left corner of the window.
+func (g *Grid) Query(px, py int, dst []float64) []float64 {
+	dst[0] = g.Window.Min[0] + (float64(px)+0.5)*g.stepX
+	dst[1] = g.Window.Min[1] + (float64(py)+0.5)*g.stepY
+	return dst
+}
+
+// Index linearizes a pixel coordinate (row-major, y-major).
+func (g *Grid) Index(px, py int) int { return py*g.Res.W + px }
+
+// Values is a dense per-pixel value buffer matching the grid's raster.
+type Values struct {
+	Res  Resolution
+	Data []float64
+}
+
+// NewValues allocates a zeroed value raster.
+func NewValues(res Resolution) *Values {
+	return &Values{Res: res, Data: make([]float64, res.Pixels())}
+}
+
+// At returns the value at pixel (px, py).
+func (v *Values) At(px, py int) float64 { return v.Data[py*v.Res.W+px] }
+
+// Set stores the value at pixel (px, py).
+func (v *Values) Set(px, py int, x float64) { v.Data[py*v.Res.W+px] = x }
+
+// MinMax returns the minimum and maximum stored values.
+func (v *Values) MinMax() (lo, hi float64) {
+	lo, hi = v.Data[0], v.Data[0]
+	for _, x := range v.Data[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

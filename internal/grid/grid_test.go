@@ -1,0 +1,118 @@
+package grid
+
+import (
+	"testing"
+
+	"github.com/quadkdv/quad/internal/geom"
+)
+
+func window(x0, y0, x1, y1 float64) geom.Rect {
+	return geom.Rect{Min: []float64{x0, y0}, Max: []float64{x1, y1}}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Resolution{0, 10}, window(0, 0, 1, 1)); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := New(Resolution{10, 10}, geom.Rect{Min: []float64{0}, Max: []float64{1}}); err == nil {
+		t.Error("1-d window accepted")
+	}
+}
+
+func TestQueryCenters(t *testing.T) {
+	g, err := New(Resolution{4, 2}, window(0, 0, 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, 2)
+	g.Query(0, 0, q)
+	if q[0] != 0.5 || q[1] != 0.5 {
+		t.Errorf("Query(0,0) = %v, want (0.5, 0.5)", q)
+	}
+	g.Query(3, 1, q)
+	if q[0] != 3.5 || q[1] != 1.5 {
+		t.Errorf("Query(3,1) = %v, want (3.5, 1.5)", q)
+	}
+}
+
+func TestQueryInsideWindow(t *testing.T) {
+	g, err := New(Resolution{7, 5}, window(-3, 2, 11, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, 2)
+	for y := 0; y < 5; y++ {
+		for x := 0; x < 7; x++ {
+			g.Query(x, y, q)
+			if !g.Window.Contains(q) {
+				t.Fatalf("pixel (%d,%d) query %v outside window", x, y, q)
+			}
+		}
+	}
+}
+
+func TestDegenerateWindowWidened(t *testing.T) {
+	g, err := New(Resolution{4, 4}, window(2, 3, 2, 3)) // single point
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Window.Max[0] <= g.Window.Min[0] || g.Window.Max[1] <= g.Window.Min[1] {
+		t.Error("degenerate window not widened")
+	}
+}
+
+func TestForDataset(t *testing.T) {
+	pts := geom.NewPoints([]float64{0, 0, 10, 20}, 2)
+	g, err := ForDataset(Resolution{10, 10}, pts, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Window.Min[0] != -1 || g.Window.Max[0] != 11 {
+		t.Errorf("x window [%g, %g], want [-1, 11]", g.Window.Min[0], g.Window.Max[0])
+	}
+	if g.Window.Min[1] != -2 || g.Window.Max[1] != 22 {
+		t.Errorf("y window [%g, %g], want [-2, 22]", g.Window.Min[1], g.Window.Max[1])
+	}
+	if _, err := ForDataset(Resolution{4, 4}, geom.NewPoints([]float64{1, 2, 3}, 3), 0); err == nil {
+		t.Error("3-d dataset accepted")
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	g, _ := New(Resolution{5, 3}, window(0, 0, 1, 1))
+	seen := map[int]bool{}
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 5; x++ {
+			i := g.Index(x, y)
+			if seen[i] {
+				t.Fatalf("duplicate index %d", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 15 {
+		t.Errorf("covered %d indices, want 15", len(seen))
+	}
+}
+
+func TestResolutionHelpers(t *testing.T) {
+	if Res1280x960.String() != "1280x960" {
+		t.Errorf("String = %q", Res1280x960.String())
+	}
+	if Res320x240.Pixels() != 76800 {
+		t.Errorf("Pixels = %d", Res320x240.Pixels())
+	}
+}
+
+func TestValues(t *testing.T) {
+	v := NewValues(Resolution{3, 2})
+	v.Set(2, 1, 7)
+	v.Set(0, 0, -3)
+	if v.At(2, 1) != 7 {
+		t.Errorf("At = %g", v.At(2, 1))
+	}
+	lo, hi := v.MinMax()
+	if lo != -3 || hi != 7 {
+		t.Errorf("MinMax = %g, %g", lo, hi)
+	}
+}

@@ -1,0 +1,188 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	quad "github.com/quadkdv/quad"
+	"github.com/quadkdv/quad/internal/grid"
+)
+
+// tinyConfig shrinks every sweep so the whole experiment registry smoke-runs
+// in seconds.
+func tinyConfig(buf *bytes.Buffer) Config {
+	c := DefaultConfig(buf)
+	c.Out = buf
+	c.Sizes = map[string]int{"elnino": 2000, "crime": 2000, "home": 2000, "hep": 2000}
+	c.Res = grid.Resolution{W: 16, H: 12}
+	c.Resolutions = []grid.Resolution{{W: 8, H: 6}, {W: 16, H: 12}}
+	c.Eps = []float64{0.01, 0.05}
+	c.TauMultiples = []float64{-0.1, 0, 0.1}
+	c.Budgets = []time.Duration{5 * time.Millisecond, 20 * time.Millisecond}
+	c.HepSizes = []int{1000, 2000}
+	c.Dims = []int{2, 3}
+	c.CellTimeout = 5 * time.Second
+	return c
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Experiments() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	if _, ok := Find("fig14"); !ok {
+		t.Error("fig14 missing")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("unknown id found")
+	}
+}
+
+// TestAllExperimentsSmoke runs every experiment end-to-end at toy scale and
+// sanity-checks the emitted tables.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke run takes ~1 min")
+	}
+	var buf bytes.Buffer
+	c := tinyConfig(&buf)
+	c.OutDir = t.TempDir()
+	for _, e := range Experiments() {
+		start := buf.Len()
+		if err := e.Run(&c); err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if buf.Len() == start {
+			t.Errorf("%s produced no output", e.ID)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"QUAD", "KARL", "aKDE", "tKDC", "Z-order", "Figure 14", "Figure 24"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("combined output missing %q", want)
+		}
+	}
+}
+
+func TestCellString(t *testing.T) {
+	cases := []struct {
+		c    Cell
+		want string
+	}{
+		{Cell{Seconds: 0.1234}, "0.123"},
+		{Cell{Seconds: 12.34}, "12.3"},
+		{Cell{Seconds: 1234}, "1234"},
+		{Cell{Seconds: 1234, Extrapolated: true}, "~1234"},
+	}
+	for _, tc := range cases {
+		if got := tc.c.String(); got != tc.want {
+			t.Errorf("Cell%+v.String() = %q, want %q", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestTimeEpsExtrapolates(t *testing.T) {
+	var buf bytes.Buffer
+	c := tinyConfig(&buf)
+	d, err := c.LoadDataset("crime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := d.Build(quad.Gaussian, quad.MethodExact, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tiny timeout must force extrapolation on a big grid.
+	cell, err := TimeEps(k, d.Pts, grid.Resolution{W: 200, H: 200}, 0.01, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cell.Extrapolated {
+		t.Errorf("expected extrapolated cell, got %+v", cell)
+	}
+	if cell.PixelsTimed >= 200*200 {
+		t.Errorf("timed all pixels despite timeout")
+	}
+	if cell.Seconds <= 0 {
+		t.Errorf("non-positive extrapolated time %g", cell.Seconds)
+	}
+}
+
+func TestMuSigmaAndDensestPixel(t *testing.T) {
+	var buf bytes.Buffer
+	c := tinyConfig(&buf)
+	d, err := c.LoadDataset("home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, sigma, err := c.MuSigma(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu <= 0 || sigma < 0 {
+		t.Errorf("μ=%g σ=%g", mu, sigma)
+	}
+	k, err := d.Build(quad.Gaussian, quad.MethodQuadratic, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := DensestPixel(k, d.Pts, c.Res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := k.Estimate(q, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < mu {
+		t.Errorf("densest pixel density %g below the mean %g", v, mu)
+	}
+}
+
+func TestTablePrint(t *testing.T) {
+	var buf bytes.Buffer
+	tbl := Table{Title: "T", Headers: []string{"a", "bb"}}
+	tbl.Add("xxx", "1")
+	tbl.Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== T ==") || !strings.Contains(out, "xxx") {
+		t.Errorf("table output: %q", out)
+	}
+}
+
+func TestMeasureQuality(t *testing.T) {
+	q, err := MeasureQuality([]float64{1.1, 2}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Max < q.Avg || q.Max < 0.0999 || q.Max > 0.1001 {
+		t.Errorf("quality %+v", q)
+	}
+	if _, err := MeasureQuality([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatch accepted")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := Table{Headers: []string{"a", "b"}, Rows: [][]string{{"1,5", `say "hi"`}, {"2", "3"}}}
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"1,5\",\"say \"\"hi\"\"\"\n2,3\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+	path := t.TempDir() + "/t.csv"
+	if err := tbl.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,373 @@
+// Package kdtree implements the hierarchical index used by the KDV bound
+// framework (paper Section 3.2, Figure 3): a kd-tree whose every node is
+// augmented with the aggregate statistics the bound functions need —
+//
+//	Σw           |P| (weighted cardinality)
+//	Σw·p         a_P   (paper Section 3.3)
+//	Σw·‖p‖²      b_P
+//	Σw·‖p‖²·p    v_P   (paper Section 9.2)
+//	Σw·‖p‖⁴      h_P
+//	Σw·p·pᵀ      C     (the Gram matrix, Gaussian quadratic bounds only)
+//
+// plus the node's minimum bounding rectangle. Per-point weights w_i
+// generalize Equation 1 the way the paper's sampling discussion requires
+// ("replace P and w by output sample set and w_i"); an unweighted build has
+// w_i = 1 and the statistics reduce to the paper's. The moments are stored
+// relative to the node's own MBR center, which keeps their magnitudes small
+// and makes the Σdist² / Σdist⁴ query-time formulas numerically stable even
+// for far-away queries; each node's statistics are accumulated directly from
+// its point range during the build (an O(n·log n·d²) pass).
+//
+// Points are kept in a flat buffer that the build reorders in place, so
+// leaves are contiguous coordinate ranges and the exact leaf scans are
+// cache-friendly.
+package kdtree
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/quadkdv/quad/internal/geom"
+)
+
+// DefaultLeafSize is the default maximum number of points per leaf.
+const DefaultLeafSize = 30
+
+// Options configures the tree build.
+type Options struct {
+	// LeafSize caps the number of points per leaf; values < 1 mean
+	// DefaultLeafSize.
+	LeafSize int
+	// Gram controls whether the d×d Gram matrix Σw·p·pᵀ is computed per
+	// node. Only the Gaussian and quartic quadratic (QUAD) bounds need it;
+	// disabling it saves O(d²) memory per node for the O(d)-bound kernels.
+	Gram bool
+	// Weights are optional per-point weights w_i ≥ 0 parallel to the point
+	// buffer. The slice is reordered in place alongside the points during
+	// the build. nil means uniform weight 1.
+	Weights []float64
+}
+
+// Node is one kd-tree node covering points [Start, End) of the tree's
+// reordered buffer.
+type Node struct {
+	Rect        geom.Rect
+	Left, Right *Node
+	Start, End  int
+
+	// Center is the reference point (the node MBR's center) the moment
+	// statistics below are taken around.
+	Center []float64
+	// SumW is the total point weight Σw under the node; for an unweighted
+	// build it equals the point count. Every moment below carries the same
+	// per-point weight.
+	SumW float64
+	// SumP is Σw·(p−Center) — a_P in centered coordinates.
+	SumP []float64
+	// SumNorm2 is Σw·‖p−Center‖² — b_P centered.
+	SumNorm2 float64
+	// SumNorm2P is Σw·‖p−Center‖²·(p−Center) — v_P centered.
+	SumNorm2P []float64
+	// SumNorm4 is Σw·‖p−Center‖⁴ — h_P centered.
+	SumNorm4 float64
+	// Gram is Σw·(p−Center)·(p−Center)ᵀ flattened row-major (d×d), or nil
+	// when the build disabled it.
+	Gram []float64
+	// Radius is the bounding-ball radius around Center: every point of the
+	// node lies within Radius of Center. Combined with the MBR it yields
+	// tighter min/max query distances (ball-tree-style bounds) at the cost
+	// of one extra distance evaluation per node visit.
+	Radius float64
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return n.Left == nil }
+
+// Size returns the number of points under the node.
+func (n *Node) Size() int { return n.End - n.Start }
+
+// Tree is a built kd-tree over a point set.
+type Tree struct {
+	Pts geom.Points
+	// Weights are the per-point weights parallel to Pts (nil when the build
+	// was unweighted), in the tree's reordered point order.
+	Weights  []float64
+	Root     *Node
+	LeafSize int
+	hasGram  bool
+	numNodes int
+}
+
+// Build constructs a kd-tree over pts. The buffer (and, if supplied, the
+// weight slice) is reordered in place; the caller must not assume any
+// particular point order afterwards. Build returns an error (rather than
+// panicking) for an empty input, since empty datasets are a caller-data
+// condition.
+func Build(pts geom.Points, opt Options) (*Tree, error) {
+	if pts.Len() == 0 {
+		return nil, fmt.Errorf("kdtree: cannot build over empty point set")
+	}
+	if opt.Weights != nil {
+		if len(opt.Weights) != pts.Len() {
+			return nil, fmt.Errorf("kdtree: %d weights for %d points", len(opt.Weights), pts.Len())
+		}
+		for i, w := range opt.Weights {
+			if w < 0 {
+				return nil, fmt.Errorf("kdtree: negative weight %g at index %d", w, i)
+			}
+		}
+	}
+	leaf := opt.LeafSize
+	if leaf < 1 {
+		leaf = DefaultLeafSize
+	}
+	t := &Tree{Pts: pts, Weights: opt.Weights, LeafSize: leaf, hasGram: opt.Gram}
+	t.Root = t.build(0, pts.Len())
+	return t, nil
+}
+
+// WeightAt returns point i's weight (1 for unweighted trees).
+func (t *Tree) WeightAt(i int) float64 {
+	if t.Weights == nil {
+		return 1
+	}
+	return t.Weights[i]
+}
+
+// swap exchanges points i and j together with their weights.
+func (t *Tree) swap(i, j int) {
+	t.Pts.Swap(i, j)
+	if t.Weights != nil {
+		t.Weights[i], t.Weights[j] = t.Weights[j], t.Weights[i]
+	}
+}
+
+// NumNodes returns the total number of nodes in the tree.
+func (t *Tree) NumNodes() int { return t.numNodes }
+
+// HasGram reports whether nodes carry the Gram matrix statistic.
+func (t *Tree) HasGram() bool { return t.hasGram }
+
+// Dim returns the dimensionality of the indexed points.
+func (t *Tree) Dim() int { return t.Pts.Dim }
+
+func (t *Tree) build(lo, hi int) *Node {
+	t.numNodes++
+	n := &Node{Start: lo, End: hi, Rect: geom.NewRect(t.Pts.Dim)}
+	for i := lo; i < hi; i++ {
+		n.Rect.Extend(t.Pts.At(i))
+	}
+	if hi-lo > t.LeafSize {
+		axis := n.Rect.LongestAxis()
+		mid := (lo + hi) / 2
+		t.selectNth(lo, hi, mid, axis)
+		// Degenerate guard: if every coordinate along the split axis is
+		// identical the partition may be vacuous; the longest-axis choice
+		// makes that possible only when the node's rect is a single point,
+		// in which case we keep it as an (oversized) leaf.
+		if n.Rect.Max[axis]-n.Rect.Min[axis] > 0 {
+			n.Left = t.build(lo, mid)
+			n.Right = t.build(mid, hi)
+		}
+	}
+	t.computeStats(n)
+	return n
+}
+
+// selectNth partially sorts points [lo,hi) along axis so that the point at
+// index nth is in its sorted position (Hoare quickselect with median-of-3
+// pivoting).
+func (t *Tree) selectNth(lo, hi, nth, axis int) {
+	coord := func(i int) float64 { return t.Pts.Coords[i*t.Pts.Dim+axis] }
+	for hi-lo > 1 {
+		// Median-of-3 pivot.
+		a, b, c := lo, (lo+hi)/2, hi-1
+		if coord(a) > coord(b) {
+			t.swap(a, b)
+		}
+		if coord(b) > coord(c) {
+			t.swap(b, c)
+			if coord(a) > coord(b) {
+				t.swap(a, b)
+			}
+		}
+		pivot := coord(b)
+		i, j := lo, hi-1
+		for i <= j {
+			for coord(i) < pivot {
+				i++
+			}
+			for coord(j) > pivot {
+				j--
+			}
+			if i <= j {
+				t.swap(i, j)
+				i++
+				j--
+			}
+		}
+		switch {
+		case nth <= j:
+			hi = j + 1
+		case nth >= i:
+			lo = i
+		default:
+			return
+		}
+	}
+}
+
+// computeStats fills the node's centered, weighted moment statistics from
+// its point range.
+func (t *Tree) computeStats(n *Node) {
+	d := t.Pts.Dim
+	n.Center = make([]float64, d)
+	n.Rect.Center(n.Center)
+	n.SumP = make([]float64, d)
+	n.SumNorm2P = make([]float64, d)
+	if t.hasGram {
+		n.Gram = make([]float64, d*d)
+	}
+	diff := make([]float64, d)
+	var maxNorm2 float64
+	for i := n.Start; i < n.End; i++ {
+		p := t.Pts.At(i)
+		w := 1.0
+		if t.Weights != nil {
+			w = t.Weights[i]
+		}
+		var norm2 float64
+		for k := 0; k < d; k++ {
+			diff[k] = p[k] - n.Center[k]
+			norm2 += diff[k] * diff[k]
+		}
+		if norm2 > maxNorm2 {
+			maxNorm2 = norm2
+		}
+		for k := 0; k < d; k++ {
+			n.SumP[k] += w * diff[k]
+			n.SumNorm2P[k] += w * norm2 * diff[k]
+		}
+		n.SumW += w
+		n.SumNorm2 += w * norm2
+		n.SumNorm4 += w * norm2 * norm2
+		if n.Gram != nil {
+			for r := 0; r < d; r++ {
+				row := n.Gram[r*d : (r+1)*d]
+				wdr := w * diff[r]
+				for cIdx := 0; cIdx < d; cIdx++ {
+					row[cIdx] += wdr * diff[cIdx]
+				}
+			}
+		}
+	}
+	n.Radius = math.Sqrt(maxNorm2)
+}
+
+// SumDist2 returns Σ_{p∈node} dist(q, p)² in O(d) time using the centered
+// moments (paper Section 3.3):
+//
+//	Σ‖q'−p'‖² = |P|·‖q'‖² − 2·q'·a_P + b_P,   q' = q − Center.
+//
+// scratch must have length ≥ d and is used for q'.
+func (n *Node) SumDist2(q, scratch []float64) float64 {
+	qc := scratch[:len(q)]
+	var qn2 float64
+	for i := range q {
+		qc[i] = q[i] - n.Center[i]
+		qn2 += qc[i] * qc[i]
+	}
+	return n.SumW*qn2 - 2*geom.Dot(qc, n.SumP) + n.SumNorm2
+}
+
+// SumDist4 returns Σ_{p∈node} dist(q, p)⁴ in O(d²) time (paper Lemma 3 /
+// Section 9.2):
+//
+//	Σ‖q'−p'‖⁴ = |P|·‖q'‖⁴ − 4‖q'‖²·q'·a_P − 4·q'·v_P + 2‖q'‖²·b_P + h_P
+//	            + 4·q'ᵀ·C·q'.
+//
+// It requires the Gram statistic; calling it on a tree built without Gram
+// panics, since that is a programming error. scratch must have length ≥ d.
+func (n *Node) SumDist4(q, scratch []float64) float64 {
+	if n.Gram == nil {
+		panic("kdtree: SumDist4 requires a tree built with Options.Gram")
+	}
+	d := len(q)
+	qc := scratch[:d]
+	var qn2 float64
+	for i := 0; i < d; i++ {
+		qc[i] = q[i] - n.Center[i]
+		qn2 += qc[i] * qc[i]
+	}
+	var quad float64 // q'ᵀ C q'
+	for r := 0; r < d; r++ {
+		row := n.Gram[r*d : (r+1)*d]
+		var s float64
+		for c := 0; c < d; c++ {
+			s += row[c] * qc[c]
+		}
+		quad += qc[r] * s
+	}
+	return n.SumW*qn2*qn2 - 4*qn2*geom.Dot(qc, n.SumP) - 4*geom.Dot(qc, n.SumNorm2P) +
+		2*qn2*n.SumNorm2 + n.SumNorm4 + 4*quad
+}
+
+// SumDist24 returns both Σdist² and Σdist⁴ in one pass, sharing the
+// centered-query terms the two formulas have in common. It requires the
+// Gram statistic (see SumDist4). scratch must have length ≥ d.
+func (n *Node) SumDist24(q, scratch []float64) (s2, s4 float64) {
+	if n.Gram == nil {
+		panic("kdtree: SumDist24 requires a tree built with Options.Gram")
+	}
+	d := len(q)
+	qc := scratch[:d]
+	var qn2 float64
+	for i := 0; i < d; i++ {
+		qc[i] = q[i] - n.Center[i]
+		qn2 += qc[i] * qc[i]
+	}
+	dotA := geom.Dot(qc, n.SumP)
+	s2 = n.SumW*qn2 - 2*dotA + n.SumNorm2
+	var quad float64 // q'ᵀ C q'
+	for r := 0; r < d; r++ {
+		row := n.Gram[r*d : (r+1)*d]
+		var s float64
+		for c := 0; c < d; c++ {
+			s += row[c] * qc[c]
+		}
+		quad += qc[r] * s
+	}
+	s4 = n.SumW*qn2*qn2 - 4*qn2*dotA - 4*geom.Dot(qc, n.SumNorm2P) +
+		2*qn2*n.SumNorm2 + n.SumNorm4 + 4*quad
+	return s2, s4
+}
+
+// Walk visits every node in pre-order and invokes fn; returning false from
+// fn prunes the node's subtree.
+func (t *Tree) Walk(fn func(*Node) bool) {
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		if n == nil || !fn(n) {
+			return
+		}
+		rec(n.Left)
+		rec(n.Right)
+	}
+	rec(t.Root)
+}
+
+// Height returns the height of the tree (a single node has height 1).
+func (t *Tree) Height() int {
+	var rec func(n *Node) int
+	rec = func(n *Node) int {
+		if n == nil {
+			return 0
+		}
+		l, r := rec(n.Left), rec(n.Right)
+		if r > l {
+			l = r
+		}
+		return l + 1
+	}
+	return rec(t.Root)
+}

@@ -1,0 +1,245 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTriangularQuadUpperEnvelope(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	tri := func(x float64) float64 { return math.Max(1-x, 0) }
+	for trial := 0; trial < 5000; trial++ {
+		xmin := rng.Float64() * 1.5
+		xmax := xmin + rng.Float64()*1.5
+		qu, ok := TriangularQuadUpper(xmin, xmax)
+		if !ok {
+			continue
+		}
+		for i := 0; i <= 40; i++ {
+			x := xmin + (xmax-xmin)*float64(i)/40
+			if qu.Eval(x) < tri(x)-1e-10 {
+				t.Fatalf("triangular quad upper below profile at x=%g on [%g,%g]", x, xmin, xmax)
+			}
+			// Lemma 5: tighter than the min-max bound max(1−xmin, 0).
+			if qu.Eval(x) > tri(xmin)+1e-10 {
+				t.Fatalf("triangular quad upper looser than min-max at x=%g on [%g,%g]", x, xmin, xmax)
+			}
+		}
+	}
+}
+
+func TestTriangularQuadUpperDegenerate(t *testing.T) {
+	if _, ok := TriangularQuadUpper(0.5, 0.5); ok {
+		t.Error("degenerate interval should report ok=false")
+	}
+	if _, ok := TriangularQuadUpper(0, 0); ok {
+		t.Error("zero interval should report ok=false")
+	}
+}
+
+// TestTriangularQuadLowerValue validates Theorem 2 / Lemma 6 numerically:
+// the closed-form value lower-bounds the true aggregate and, when all
+// x_i ≤ 1, dominates the min-max lower bound.
+func TestTriangularQuadLowerValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 3000; trial++ {
+		n := 1 + rng.Intn(50)
+		inside := rng.Float64() < 0.7
+		scale := 1.0
+		if !inside {
+			scale = 2.5
+		}
+		xs := make([]float64, n)
+		var sumX2, exact, xmax float64
+		for i := range xs {
+			xs[i] = rng.Float64() * scale
+			sumX2 += xs[i] * xs[i]
+			exact += math.Max(1-xs[i], 0)
+			if xs[i] > xmax {
+				xmax = xs[i]
+			}
+		}
+		w := 0.1 + rng.Float64()
+		lb := TriangularQuadLowerValue(w, float64(n), sumX2)
+		if lb > w*exact+1e-9 {
+			t.Fatalf("closed-form lower bound %g exceeds exact %g (n=%d)", lb, w*exact, n)
+		}
+		if inside {
+			minmax := w * float64(n) * math.Max(1-xmax, 0)
+			if lb < minmax-1e-9 {
+				t.Fatalf("Lemma 6 violated: quad lower %g < min-max %g with all x ≤ 1", lb, minmax)
+			}
+		}
+	}
+}
+
+func TestCosineQuadUpperEnvelope(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 5000; trial++ {
+		xmin := rng.Float64() * math.Pi / 2
+		xmax := xmin + rng.Float64()*(math.Pi/2-xmin)
+		qu, ok := CosineQuadUpper(xmin, xmax)
+		if !ok {
+			continue
+		}
+		for i := 0; i <= 40; i++ {
+			x := xmin + (xmax-xmin)*float64(i)/40
+			if qu.Eval(x) < math.Cos(x)-1e-10 {
+				t.Fatalf("cosine quad upper below cos at x=%g on [%g,%g]", x, xmin, xmax)
+			}
+			// Tighter than the min-max bound cos(xmin) (Section 9.6.1).
+			if qu.Eval(x) > math.Cos(xmin)+1e-10 {
+				t.Fatalf("cosine quad upper looser than min-max at x=%g on [%g,%g]", x, xmin, xmax)
+			}
+		}
+	}
+}
+
+func TestCosineQuadUpperRejectsBeyondSupport(t *testing.T) {
+	if _, ok := CosineQuadUpper(0.1, math.Pi/2+0.1); ok {
+		t.Error("interval beyond π/2 should report ok=false")
+	}
+}
+
+func TestCosineQuadLowerEnvelope(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 5000; trial++ {
+		xmin := rng.Float64() * math.Pi / 2
+		xmax := xmin + rng.Float64()*(math.Pi/2-xmin)
+		ql, ok := CosineQuadLower(xmin, xmax)
+		if !ok {
+			continue
+		}
+		for i := 0; i <= 40; i++ {
+			x := xmin + (xmax-xmin)*float64(i)/40
+			if ql.Eval(x) > math.Cos(x)+1e-10 {
+				t.Fatalf("cosine quad lower above cos at x=%g on [%g,%g]", x, xmin, xmax)
+			}
+			// Tighter than the min-max bound cos(xmax) (Section 9.6.2).
+			if ql.Eval(x) < math.Cos(xmax)-1e-10 {
+				t.Fatalf("cosine quad lower looser than min-max at x=%g on [%g,%g]", x, xmin, xmax)
+			}
+		}
+	}
+}
+
+func TestExpDistQuadUpperEnvelope(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 5000; trial++ {
+		xmin := rng.Float64() * 4
+		xmax := xmin + rng.Float64()*4
+		qu, ok := ExpDistQuadUpper(xmin, xmax)
+		if !ok {
+			continue
+		}
+		for i := 0; i <= 40; i++ {
+			x := xmin + (xmax-xmin)*float64(i)/40
+			if qu.Eval(x) < math.Exp(-x)-1e-10 {
+				t.Fatalf("exp-dist quad upper below exp at x=%g on [%g,%g]", x, xmin, xmax)
+			}
+			if qu.Eval(x) > math.Exp(-xmin)+1e-10 {
+				t.Fatalf("exp-dist quad upper looser than min-max at x=%g on [%g,%g]", x, xmin, xmax)
+			}
+		}
+	}
+}
+
+func TestExpDistQuadLowerEnvelope(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 5000; trial++ {
+		tpt := 1e-3 + rng.Float64()*5
+		ql, ok := ExpDistQuadLower(tpt)
+		if !ok {
+			t.Fatalf("ExpDistQuadLower(%g) rejected", tpt)
+		}
+		// Valid for every x ≥ 0, not just an interval (concavity argument).
+		for i := 0; i <= 60; i++ {
+			x := rng.Float64() * 8
+			if ql.Eval(x) > math.Exp(-x)+1e-10 {
+				t.Fatalf("exp-dist quad lower above exp at x=%g (t=%g)", x, tpt)
+			}
+		}
+		if math.Abs(ql.Eval(tpt)-math.Exp(-tpt)) > 1e-10 {
+			t.Fatalf("exp-dist quad lower does not touch at t=%g", tpt)
+		}
+	}
+}
+
+func TestExpDistQuadLowerRejectsZeroT(t *testing.T) {
+	if _, ok := ExpDistQuadLower(0); ok {
+		t.Error("t=0 should report ok=false")
+	}
+}
+
+func TestEpanechnikovQuadLowerValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for trial := 0; trial < 3000; trial++ {
+		n := 1 + rng.Intn(40)
+		scale := 0.5 + rng.Float64()*2
+		var sumX2, exact float64
+		allInside := true
+		for i := 0; i < n; i++ {
+			x := rng.Float64() * scale
+			sumX2 += x * x
+			exact += math.Max(1-x*x, 0)
+			if x > 1 {
+				allInside = false
+			}
+		}
+		w := 0.1 + rng.Float64()
+		lb := EpanechnikovQuadLowerValue(w, float64(n), sumX2)
+		if lb > w*exact+1e-9 {
+			t.Fatalf("Epanechnikov lower bound %g exceeds exact %g", lb, w*exact)
+		}
+		if allInside && math.Abs(lb-w*exact) > 1e-9 {
+			t.Fatalf("Epanechnikov bound should be exact inside support: %g vs %g", lb, w*exact)
+		}
+	}
+}
+
+func TestQuarticQuadUpperValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 3000; trial++ {
+		n := 1 + rng.Intn(40)
+		scale := 0.5 + rng.Float64()*2
+		var sumX2, sumX4, exact float64
+		allInside := true
+		for i := 0; i < n; i++ {
+			x := rng.Float64() * scale
+			sumX2 += x * x
+			sumX4 += x * x * x * x
+			u := math.Max(1-x*x, 0)
+			exact += u * u
+			if x > 1 {
+				allInside = false
+			}
+		}
+		w := 0.1 + rng.Float64()
+		ub := QuarticQuadUpperValue(w, float64(n), sumX2, sumX4)
+		if ub < w*exact-1e-9 {
+			t.Fatalf("quartic upper bound %g below exact %g", ub, w*exact)
+		}
+		if allInside && math.Abs(ub-w*exact) > 1e-9 {
+			t.Fatalf("quartic bound should be exact inside support: %g vs %g", ub, w*exact)
+		}
+	}
+}
+
+func TestDistBoundsQuick(t *testing.T) {
+	// Triangular upper envelope property under testing/quick.
+	f := func(a, b, frac float64) bool {
+		xmin := math.Abs(math.Mod(a, 2))
+		xmax := xmin + math.Abs(math.Mod(b, 2))
+		qu, ok := TriangularQuadUpper(xmin, xmax)
+		if !ok {
+			return true
+		}
+		x := xmin + math.Abs(math.Mod(frac, 1))*(xmax-xmin)
+		return qu.Eval(x) >= math.Max(1-x, 0)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}

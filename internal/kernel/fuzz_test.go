@@ -1,0 +1,87 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzExpEnvelopes: for fuzzer-chosen intervals and sample points, the four
+// Gaussian-profile envelopes must sandwich exp(−x).
+func FuzzExpEnvelopes(f *testing.F) {
+	f.Add(0.0, 1.0, 0.5, 0.5)
+	f.Add(0.0, 100.0, 0.3, 0.9)
+	f.Add(3.0, 3.0, 0.0, 1.0)
+	f.Fuzz(func(t *testing.T, a, width, tFrac, xFrac float64) {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(width) || math.IsInf(width, 0) {
+			return
+		}
+		xmin := math.Abs(math.Mod(a, 50))
+		w := math.Abs(math.Mod(width, 50))
+		xmax := xmin + w
+		tf := math.Abs(math.Mod(tFrac, 1))
+		xf := math.Abs(math.Mod(xFrac, 1))
+		if math.IsNaN(tf) || math.IsNaN(xf) {
+			return
+		}
+		tpt := xmin + tf*w
+		x := xmin + xf*w
+		e := math.Exp(-x)
+		tol := 1e-9 * (1 + e)
+		if v := ExpChordUpper(xmin, xmax).Eval(x); v < e-tol {
+			t.Fatalf("chord upper %g < exp(−%g)=%g on [%g,%g]", v, x, e, xmin, xmax)
+		}
+		if v := ExpTangentLower(tpt).Eval(x); v > e+tol {
+			t.Fatalf("tangent lower %g > exp(−%g)=%g (t=%g)", v, x, e, tpt)
+		}
+		if v := ExpQuadUpper(xmin, xmax).Eval(x); v < e-tol {
+			t.Fatalf("quad upper %g < exp(−%g)=%g on [%g,%g]", v, x, e, xmin, xmax)
+		}
+		if v := ExpQuadLower(xmin, xmax, tpt).Eval(x); v > e+tol {
+			t.Fatalf("quad lower %g > exp(−%g)=%g on [%g,%g] (t=%g)", v, x, e, xmin, xmax, tpt)
+		}
+	})
+}
+
+// FuzzDistKernelEnvelopes: the restricted a·x²+c envelopes of the distance
+// kernels must sandwich their profiles wherever the constructors accept the
+// interval.
+func FuzzDistKernelEnvelopes(f *testing.F) {
+	f.Add(0.0, 0.5, 0.5)
+	f.Add(0.2, 1.0, 0.1)
+	f.Fuzz(func(t *testing.T, a, width, xFrac float64) {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(width) || math.IsInf(width, 0) || math.IsNaN(xFrac) {
+			return
+		}
+		xmin := math.Abs(math.Mod(a, 3))
+		w := math.Abs(math.Mod(width, 3))
+		xmax := xmin + w
+		x := xmin + math.Abs(math.Mod(xFrac, 1))*w
+		tol := 1e-9
+
+		if qu, ok := TriangularQuadUpper(xmin, xmax); ok {
+			if v, p := qu.Eval(x), Triangular.Profile(x); v < p-tol {
+				t.Fatalf("triangular upper %g < profile %g at x=%g", v, p, x)
+			}
+		}
+		if qu, ok := CosineQuadUpper(xmin, xmax); ok {
+			if v, p := qu.Eval(x), Cosine.Profile(x); v < p-tol {
+				t.Fatalf("cosine upper %g < profile %g at x=%g", v, p, x)
+			}
+		}
+		if ql, ok := CosineQuadLower(xmin, xmax); ok {
+			if v, p := ql.Eval(x), math.Cos(x); v > p+tol {
+				t.Fatalf("cosine lower %g > cos %g at x=%g", v, p, x)
+			}
+		}
+		if qu, ok := ExpDistQuadUpper(xmin, xmax); ok {
+			if v, p := qu.Eval(x), math.Exp(-x); v < p-tol {
+				t.Fatalf("exp-dist upper %g < exp %g at x=%g", v, p, x)
+			}
+		}
+		if ql, ok := ExpDistQuadLower(xmin + 0.1); ok {
+			if v, p := ql.Eval(x), math.Exp(-x); v > p+tol {
+				t.Fatalf("exp-dist lower %g > exp %g at x=%g", v, p, x)
+			}
+		}
+	})
+}

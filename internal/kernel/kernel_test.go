@@ -1,0 +1,287 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStringParseRoundTrip(t *testing.T) {
+	for _, k := range All() {
+		got, err := Parse(k.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("Parse(String(%v)) = %v", k, got)
+		}
+	}
+	if _, err := Parse("nope"); err == nil {
+		t.Error("Parse of unknown kernel succeeded")
+	}
+}
+
+func TestValid(t *testing.T) {
+	for _, k := range All() {
+		if !k.Valid() {
+			t.Errorf("%v reported invalid", k)
+		}
+	}
+	if Kernel(-1).Valid() || Kernel(int(numKernels)).Valid() {
+		t.Error("out-of-range kernel reported valid")
+	}
+}
+
+func TestProfileAtZero(t *testing.T) {
+	for _, k := range All() {
+		if got := k.Profile(0); got != 1 {
+			t.Errorf("%v.Profile(0) = %g, want 1", k, got)
+		}
+		if got := k.ProfileMax(); got != 1 {
+			t.Errorf("%v.ProfileMax() = %g, want 1", k, got)
+		}
+	}
+}
+
+func TestProfileSupport(t *testing.T) {
+	for _, k := range All() {
+		s := k.SupportX()
+		if math.IsInf(s, 1) {
+			continue
+		}
+		if got := k.Profile(s + 1e-9); got != 0 {
+			t.Errorf("%v.Profile(just past support) = %g, want 0", k, got)
+		}
+		if got := k.Profile(s * 0.999); got <= 0 && k != Uniform {
+			// Uniform is 1 on its whole support; the others approach 0.
+			t.Errorf("%v.Profile(just inside support) = %g, want > 0", k, got)
+		}
+	}
+}
+
+func TestProfileMonotoneNonIncreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range All() {
+		for trial := 0; trial < 2000; trial++ {
+			a := rng.Float64() * 4
+			b := a + rng.Float64()*4
+			fa, fb := k.Profile(a), k.Profile(b)
+			if fb > fa+1e-15 {
+				t.Fatalf("%v profile increased: f(%g)=%g < f(%g)=%g", k, a, fa, b, fb)
+			}
+		}
+	}
+}
+
+func TestEvalMatchesProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, k := range All() {
+		for trial := 0; trial < 500; trial++ {
+			gamma := 0.1 + rng.Float64()*3
+			dist := rng.Float64() * 3
+			want := k.Profile(k.X(gamma, dist*dist))
+			got := k.Eval(gamma, dist*dist)
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("%v Eval(γ=%g, d=%g) = %g, want %g", k, gamma, dist, got, want)
+			}
+		}
+	}
+}
+
+func TestGaussianUsesSquaredDistance(t *testing.T) {
+	if !Gaussian.UsesSquaredDistance() {
+		t.Error("Gaussian must use squared distance")
+	}
+	for _, k := range []Kernel{Triangular, Cosine, Exponential, Epanechnikov, Quartic, Uniform} {
+		if k.UsesSquaredDistance() {
+			t.Errorf("%v must not use squared distance", k)
+		}
+	}
+}
+
+func TestBoundAvailabilityFlags(t *testing.T) {
+	if !Gaussian.HasLinearBounds() {
+		t.Error("Gaussian must have linear bounds")
+	}
+	for _, k := range []Kernel{Triangular, Cosine, Exponential} {
+		if k.HasLinearBounds() {
+			t.Errorf("%v must not have linear bounds (paper Section 5.1)", k)
+		}
+		if !k.HasQuadraticBounds() {
+			t.Errorf("%v must have quadratic bounds", k)
+		}
+	}
+	if Uniform.HasQuadraticBounds() {
+		t.Error("Uniform must not advertise quadratic bounds")
+	}
+}
+
+// randInterval draws a plausible x-interval.
+func randInterval(rng *rand.Rand, scale float64) (xmin, xmax float64) {
+	xmin = rng.Float64() * scale
+	xmax = xmin + rng.Float64()*scale
+	return
+}
+
+func TestExpChordUpperEnvelope(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5000; trial++ {
+		xmin, xmax := randInterval(rng, 5)
+		up := ExpChordUpper(xmin, xmax)
+		for i := 0; i <= 20; i++ {
+			x := xmin + (xmax-xmin)*float64(i)/20
+			if up.Eval(x) < math.Exp(-x)-1e-12 {
+				t.Fatalf("chord upper below exp(−x) at x=%g on [%g,%g]", x, xmin, xmax)
+			}
+		}
+		// Exactness at endpoints.
+		if math.Abs(up.Eval(xmin)-math.Exp(-xmin)) > 1e-9 {
+			t.Fatalf("chord not through left endpoint on [%g,%g]", xmin, xmax)
+		}
+	}
+}
+
+func TestExpTangentLowerEnvelope(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 5000; trial++ {
+		tpt := rng.Float64() * 6
+		lo := ExpTangentLower(tpt)
+		for i := 0; i <= 20; i++ {
+			x := rng.Float64() * 8
+			if lo.Eval(x) > math.Exp(-x)+1e-12 {
+				t.Fatalf("tangent lower above exp(−x) at x=%g (t=%g)", x, tpt)
+			}
+		}
+		if math.Abs(lo.Eval(tpt)-math.Exp(-tpt)) > 1e-12 {
+			t.Fatalf("tangent does not touch at t=%g", tpt)
+		}
+	}
+}
+
+func TestExpQuadUpperEnvelopeAndTightness(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 5000; trial++ {
+		xmin, xmax := randInterval(rng, 5)
+		qu := ExpQuadUpper(xmin, xmax)
+		chord := ExpChordUpper(xmin, xmax)
+		for i := 0; i <= 40; i++ {
+			x := xmin + (xmax-xmin)*float64(i)/40
+			e := math.Exp(-x)
+			quv := qu.Eval(x)
+			if quv < e-1e-10 {
+				t.Fatalf("quad upper below exp(−x) at x=%g on [%g,%g]: %g < %g", x, xmin, xmax, quv, e)
+			}
+			// Theorem 1: tighter than (or equal to) the chord.
+			if quv > chord.Eval(x)+1e-10 {
+				t.Fatalf("quad upper looser than chord at x=%g on [%g,%g]", x, xmin, xmax)
+			}
+		}
+	}
+}
+
+func TestExpQuadLowerEnvelopeAndTightness(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 5000; trial++ {
+		xmin, xmax := randInterval(rng, 5)
+		tpt := xmin + rng.Float64()*(xmax-xmin)
+		ql := ExpQuadLower(xmin, xmax, tpt)
+		tan := ExpTangentLower(clamp(tpt, xmin, xmax))
+		for i := 0; i <= 40; i++ {
+			x := xmin + (xmax-xmin)*float64(i)/40
+			e := math.Exp(-x)
+			qlv := ql.Eval(x)
+			if qlv > e+1e-10 {
+				t.Fatalf("quad lower above exp(−x) at x=%g on [%g,%g] (t=%g): %g > %g", x, xmin, xmax, tpt, qlv, e)
+			}
+			// Section 4.3: tighter than (or equal to) the tangent line.
+			if qlv < tan.Eval(x)-1e-10 {
+				t.Fatalf("quad lower looser than tangent at x=%g on [%g,%g]", x, xmin, xmax)
+			}
+		}
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func TestExpQuadLowerClampsTangentPoint(t *testing.T) {
+	// Out-of-interval t must still produce a valid envelope.
+	for _, tpt := range []float64{-3, 0, 10, 100} {
+		ql := ExpQuadLower(1, 2, tpt)
+		for i := 0; i <= 20; i++ {
+			x := 1 + float64(i)/20
+			if ql.Eval(x) > math.Exp(-x)+1e-10 {
+				t.Fatalf("clamped quad lower invalid at x=%g (t=%g)", x, tpt)
+			}
+		}
+	}
+}
+
+// TestExpQuadUpperStrictlyTighterOnWideIntervals guards against sign
+// mistakes in a_u*: on a wide interval the optimal parabola must beat the
+// chord by a wide margin at the midpoint, not merely match it.
+func TestExpQuadUpperStrictlyTighterOnWideIntervals(t *testing.T) {
+	for _, iv := range [][2]float64{{0, 10}, {0.5, 6}, {1, 20}, {0, 3}} {
+		xmin, xmax := iv[0], iv[1]
+		qu := ExpQuadUpper(xmin, xmax)
+		chord := ExpChordUpper(xmin, xmax)
+		if qu.A <= 0 {
+			t.Fatalf("a_u* = %g on [%g,%g], want > 0", qu.A, xmin, xmax)
+		}
+		mid := (xmin + xmax) / 2
+		if qu.Eval(mid) > 0.7*chord.Eval(mid) {
+			t.Errorf("quad upper %g not substantially below chord %g at midpoint of [%g,%g]",
+				qu.Eval(mid), chord.Eval(mid), xmin, xmax)
+		}
+	}
+}
+
+func TestExpQuadDegenerateInterval(t *testing.T) {
+	qu := ExpQuadUpper(2, 2)
+	ql := ExpQuadLower(2, 2, 2)
+	want := math.Exp(-2)
+	if math.Abs(qu.Eval(2)-want) > 1e-12 || math.Abs(ql.Eval(2)-want) > 1e-12 {
+		t.Errorf("degenerate interval bounds = [%g, %g], want both %g", ql.Eval(2), qu.Eval(2), want)
+	}
+}
+
+// TestExpQuadUpperQuick drives the envelope with testing/quick over a wide
+// random parameter space.
+func TestExpQuadUpperQuick(t *testing.T) {
+	f := func(a, b, frac float64) bool {
+		xmin := math.Abs(math.Mod(a, 10))
+		width := math.Abs(math.Mod(b, 10))
+		xmax := xmin + width
+		fr := math.Abs(math.Mod(frac, 1))
+		x := xmin + fr*width
+		qu := ExpQuadUpper(xmin, xmax)
+		return qu.Eval(x) >= math.Exp(-x)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpQuadLowerQuick(t *testing.T) {
+	f := func(a, b, c, frac float64) bool {
+		xmin := math.Abs(math.Mod(a, 10))
+		width := math.Abs(math.Mod(b, 10))
+		xmax := xmin + width
+		tpt := xmin + math.Abs(math.Mod(c, 1))*width
+		fr := math.Abs(math.Mod(frac, 1))
+		x := xmin + fr*width
+		ql := ExpQuadLower(xmin, xmax, tpt)
+		return ql.Eval(x) <= math.Exp(-x)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,179 @@
+// Package pca implements principal component analysis for the paper's
+// Figure 24 dimensionality sweep ("vary the dimensionality of these datasets
+// via PCA dimensionality reduction"). The eigen-decomposition of the sample
+// covariance matrix uses the cyclic Jacobi rotation method, which is exact
+// (to machine precision), dependency-free and more than fast enough for the
+// d ≤ 20 settings KDV operates in.
+package pca
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/quadkdv/quad/internal/geom"
+)
+
+// maxJacobiSweeps bounds the Jacobi iteration; symmetric matrices of the
+// sizes used here converge in well under 20 sweeps.
+const maxJacobiSweeps = 64
+
+// Model holds a fitted PCA basis.
+type Model struct {
+	Mean       []float64
+	Components [][]float64 // row i is the i-th principal axis (unit norm)
+	Variances  []float64   // eigenvalues, descending
+}
+
+// Fit computes the PCA basis of the dataset.
+func Fit(pts geom.Points) (*Model, error) {
+	n := pts.Len()
+	d := pts.Dim
+	if n < 2 {
+		return nil, fmt.Errorf("pca: need at least 2 points, got %d", n)
+	}
+	mean := make([]float64, d)
+	for i := 0; i < n; i++ {
+		p := pts.At(i)
+		for j := 0; j < d; j++ {
+			mean[j] += p[j]
+		}
+	}
+	for j := 0; j < d; j++ {
+		mean[j] /= float64(n)
+	}
+	// Sample covariance matrix (d×d, symmetric).
+	cov := make([][]float64, d)
+	for i := range cov {
+		cov[i] = make([]float64, d)
+	}
+	diff := make([]float64, d)
+	for i := 0; i < n; i++ {
+		p := pts.At(i)
+		for j := 0; j < d; j++ {
+			diff[j] = p[j] - mean[j]
+		}
+		for r := 0; r < d; r++ {
+			for c := r; c < d; c++ {
+				cov[r][c] += diff[r] * diff[c]
+			}
+		}
+	}
+	for r := 0; r < d; r++ {
+		for c := r; c < d; c++ {
+			cov[r][c] /= float64(n - 1)
+			cov[c][r] = cov[r][c]
+		}
+	}
+	values, vectors := jacobiEigen(cov)
+	// Sort eigenpairs by descending eigenvalue.
+	order := make([]int, d)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return values[order[a]] > values[order[b]] })
+	m := &Model{Mean: mean, Components: make([][]float64, d), Variances: make([]float64, d)}
+	for rank, idx := range order {
+		m.Variances[rank] = values[idx]
+		comp := make([]float64, d)
+		for j := 0; j < d; j++ {
+			comp[j] = vectors[j][idx] // column idx of the rotation product
+		}
+		m.Components[rank] = comp
+	}
+	return m, nil
+}
+
+// Project maps the dataset onto the top-k principal components.
+func (m *Model) Project(pts geom.Points, k int) (geom.Points, error) {
+	d := pts.Dim
+	if d != len(m.Mean) {
+		return geom.Points{}, fmt.Errorf("pca: dataset dim %d does not match model dim %d", d, len(m.Mean))
+	}
+	if k < 1 || k > d {
+		return geom.Points{}, fmt.Errorf("pca: k=%d out of range [1, %d]", k, d)
+	}
+	n := pts.Len()
+	out := make([]float64, 0, n*k)
+	diff := make([]float64, d)
+	for i := 0; i < n; i++ {
+		p := pts.At(i)
+		for j := 0; j < d; j++ {
+			diff[j] = p[j] - m.Mean[j]
+		}
+		for c := 0; c < k; c++ {
+			out = append(out, geom.Dot(diff, m.Components[c]))
+		}
+	}
+	return geom.NewPoints(out, k), nil
+}
+
+// Reduce is the one-shot convenience: fit on pts and project to k dims.
+func Reduce(pts geom.Points, k int) (geom.Points, error) {
+	m, err := Fit(pts)
+	if err != nil {
+		return geom.Points{}, err
+	}
+	return m.Project(pts, k)
+}
+
+// jacobiEigen diagonalizes the symmetric matrix a (destructively) via cyclic
+// Jacobi rotations, returning the eigenvalues and the accumulated rotation
+// matrix whose COLUMNS are the eigenvectors.
+func jacobiEigen(a [][]float64) (values []float64, vectors [][]float64) {
+	d := len(a)
+	v := make([][]float64, d)
+	for i := range v {
+		v[i] = make([]float64, d)
+		v[i][i] = 1
+	}
+	for sweep := 0; sweep < maxJacobiSweeps; sweep++ {
+		var off float64
+		for r := 0; r < d; r++ {
+			for c := r + 1; c < d; c++ {
+				off += a[r][c] * a[r][c]
+			}
+		}
+		if off < 1e-24 {
+			break
+		}
+		for p := 0; p < d; p++ {
+			for q := p + 1; q < d; q++ {
+				if math.Abs(a[p][q]) < 1e-30 {
+					continue
+				}
+				theta := (a[q][q] - a[p][p]) / (2 * a[p][q])
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				cos := 1 / math.Sqrt(t*t+1)
+				sin := t * cos
+				rotate(a, v, p, q, cos, sin)
+			}
+		}
+	}
+	values = make([]float64, d)
+	for i := 0; i < d; i++ {
+		values[i] = a[i][i]
+	}
+	return values, v
+}
+
+// rotate applies the Jacobi rotation G(p,q,θ) as a ← GᵀaG and accumulates
+// v ← vG.
+func rotate(a, v [][]float64, p, q int, cos, sin float64) {
+	d := len(a)
+	for i := 0; i < d; i++ {
+		aip, aiq := a[i][p], a[i][q]
+		a[i][p] = cos*aip - sin*aiq
+		a[i][q] = sin*aip + cos*aiq
+	}
+	for j := 0; j < d; j++ {
+		apj, aqj := a[p][j], a[q][j]
+		a[p][j] = cos*apj - sin*aqj
+		a[q][j] = sin*apj + cos*aqj
+	}
+	for i := 0; i < d; i++ {
+		vip, viq := v[i][p], v[i][q]
+		v[i][p] = cos*vip - sin*viq
+		v[i][q] = sin*vip + cos*viq
+	}
+}

@@ -1,0 +1,142 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/quadkdv/quad/internal/geom"
+)
+
+// anisotropicCloud samples a 3-d Gaussian stretched along a known axis.
+func anisotropicCloud(rng *rand.Rand, n int) geom.Points {
+	// Principal axis (1,1,0)/√2 with σ=5; the others σ=1 and σ=0.1.
+	coords := make([]float64, 0, n*3)
+	inv := 1 / math.Sqrt2
+	for i := 0; i < n; i++ {
+		a := rng.NormFloat64() * 5
+		b := rng.NormFloat64() * 1
+		c := rng.NormFloat64() * 0.1
+		coords = append(coords,
+			a*inv-b*inv,
+			a*inv+b*inv,
+			c,
+		)
+	}
+	return geom.NewPoints(coords, 3)
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(geom.NewPoints([]float64{1, 2}, 2)); err == nil {
+		t.Error("single point accepted")
+	}
+}
+
+func TestFitRecoversPrincipalAxis(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	m, err := Fit(anisotropicCloud(rng, 20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eigenvalues descending and close to 25, 1, 0.01.
+	if m.Variances[0] < m.Variances[1] || m.Variances[1] < m.Variances[2] {
+		t.Fatalf("eigenvalues not descending: %v", m.Variances)
+	}
+	if math.Abs(m.Variances[0]-25) > 2 {
+		t.Errorf("top eigenvalue %g, want ≈25", m.Variances[0])
+	}
+	// Top component aligned with (1,1,0)/√2 up to sign.
+	c := m.Components[0]
+	align := math.Abs(c[0]/math.Sqrt2 + c[1]/math.Sqrt2)
+	if align < 0.99 {
+		t.Errorf("top component %v poorly aligned (%g)", c, align)
+	}
+}
+
+func TestComponentsOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	m, err := Fit(anisotropicCloud(rng, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Components {
+		for j := range m.Components {
+			dot := geom.Dot(m.Components[i], m.Components[j])
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-9 {
+				t.Errorf("components %d·%d = %g, want %g", i, j, dot, want)
+			}
+		}
+	}
+}
+
+func TestProjectPreservesVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	pts := anisotropicCloud(rng, 10000)
+	m, err := Fit(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := m.Project(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Dim != 1 || proj.Len() != pts.Len() {
+		t.Fatalf("projection shape: dim=%d len=%d", proj.Dim, proj.Len())
+	}
+	var mean, varr float64
+	for i := 0; i < proj.Len(); i++ {
+		mean += proj.At(i)[0]
+	}
+	mean /= float64(proj.Len())
+	for i := 0; i < proj.Len(); i++ {
+		d := proj.At(i)[0] - mean
+		varr += d * d
+	}
+	varr /= float64(proj.Len() - 1)
+	if math.Abs(varr-m.Variances[0])/m.Variances[0] > 1e-6 {
+		t.Errorf("projected variance %g, eigenvalue %g", varr, m.Variances[0])
+	}
+}
+
+func TestProjectValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	pts := anisotropicCloud(rng, 100)
+	m, err := Fit(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Project(pts, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := m.Project(pts, 4); err == nil {
+		t.Error("k>d accepted")
+	}
+	if _, err := m.Project(geom.NewPoints([]float64{1, 2}, 2), 1); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestReduce(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	pts := anisotropicCloud(rng, 2000)
+	out, err := Reduce(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dim != 2 || out.Len() != 2000 {
+		t.Fatalf("Reduce shape: dim=%d len=%d", out.Dim, out.Len())
+	}
+}
+
+func TestJacobiOnDiagonal(t *testing.T) {
+	a := [][]float64{{3, 0}, {0, 7}}
+	vals, _ := jacobiEigen(a)
+	got := []float64{vals[0], vals[1]}
+	if !(got[0] == 3 && got[1] == 7) && !(got[0] == 7 && got[1] == 3) {
+		t.Errorf("diagonal eigenvalues = %v", got)
+	}
+}

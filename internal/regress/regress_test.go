@@ -1,0 +1,213 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/quadkdv/quad/internal/bounds"
+	"github.com/quadkdv/quad/internal/geom"
+	"github.com/quadkdv/quad/internal/kernel"
+)
+
+func cfg() Config {
+	return Config{Kernel: kernel.Gaussian, Gamma: 8, Method: bounds.Quadratic}
+}
+
+// bruteNW computes the Nadaraya–Watson estimate directly.
+func bruteNW(x geom.Points, y []float64, kern kernel.Kernel, gamma float64, q []float64) (float64, bool) {
+	var num, den float64
+	for i := 0; i < x.Len(); i++ {
+		k := kern.Eval(gamma, geom.Dist2(q, x.At(i)))
+		num += y[i] * k
+		den += k
+	}
+	if den == 0 {
+		return 0, false
+	}
+	return num / den, true
+}
+
+func sineData(rng *rand.Rand, n int, noise float64) (geom.Points, []float64) {
+	coords := make([]float64, 0, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xv := rng.Float64() * 2 * math.Pi
+		coords = append(coords, xv)
+		y[i] = math.Sin(xv) + rng.NormFloat64()*noise
+	}
+	return geom.NewPoints(coords, 1), y
+}
+
+func TestNewValidation(t *testing.T) {
+	x := geom.NewPoints([]float64{0, 1}, 1)
+	if _, err := New(geom.Points{Dim: 1}, nil, cfg()); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := New(x, []float64{1}, cfg()); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	bad := cfg()
+	bad.Gamma = 0
+	if _, err := New(x, []float64{1, 2}, bad); err == nil {
+		t.Error("zero gamma accepted")
+	}
+	if _, err := New(x, []float64{1, math.NaN()}, cfg()); err == nil {
+		t.Error("NaN response accepted")
+	}
+	if _, err := New(x, []float64{1, math.Inf(1)}, cfg()); err == nil {
+		t.Error("Inf response accepted")
+	}
+}
+
+// TestPredictMatchesBruteForce: predictions must agree with the direct
+// ratio within the requested tolerance, including negative responses.
+func TestPredictMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(170))
+	x, y := sineData(rng, 4000, 0.05) // sin takes both signs
+	for _, m := range []bounds.Method{bounds.MinMax, bounds.Quadratic} {
+		c := cfg()
+		c.Method = m
+		r, err := New(x.Clone(), append([]float64(nil), y...), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 40; trial++ {
+			q := []float64{rng.Float64() * 2 * math.Pi}
+			want, wok := bruteNW(x, y, c.Kernel, c.Gamma, q)
+			got, ok, err := r.Predict(q, 1e-4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != wok {
+				t.Fatalf("%s: ok=%v want %v at %v", m, ok, wok, q)
+			}
+			if ok && math.Abs(got-want) > 1e-4*(1+math.Abs(want))*2 {
+				t.Fatalf("%s: predict %g, brute force %g at %v", m, got, want, q)
+			}
+		}
+	}
+}
+
+// TestPredictRecoverstSine: with dense low-noise data, the regression curve
+// must track sin(x) closely.
+func TestPredictRecoversSine(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	x, y := sineData(rng, 8000, 0.02)
+	r, err := New(x, y, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for xq := 0.5; xq < 2*math.Pi-0.5; xq += 0.25 {
+		got, ok, err := r.Predict([]float64{xq}, 1e-4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("prediction undefined at %g", xq)
+		}
+		if e := math.Abs(got - math.Sin(xq)); e > worst {
+			worst = e
+		}
+	}
+	if worst > 0.08 {
+		t.Errorf("worst deviation from sin(x): %g", worst)
+	}
+}
+
+func TestPredictAllPositiveResponses(t *testing.T) {
+	rng := rand.New(rand.NewSource(172))
+	n := 2000
+	coords := make([]float64, n)
+	y := make([]float64, n)
+	for i := range coords {
+		coords[i] = rng.Float64() * 10
+		y[i] = 5 + coords[i] // strictly positive, linear
+	}
+	x := geom.NewPoints(coords, 1)
+	r, err := New(x.Clone(), y, Config{Kernel: kernel.Gaussian, Gamma: 2, Method: bounds.Quadratic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := r.Predict([]float64{5}, 1e-4)
+	if err != nil || !ok {
+		t.Fatalf("predict failed: %v %v", ok, err)
+	}
+	if math.Abs(got-10) > 0.3 {
+		t.Errorf("linear fit at x=5: %g, want ≈10", got)
+	}
+}
+
+func TestPredictAllNegativeResponses(t *testing.T) {
+	x := geom.NewPoints([]float64{0, 1, 2, 3, 4}, 1)
+	y := []float64{-2, -2, -2, -2, -2}
+	r, err := New(x, y, Config{Kernel: kernel.Gaussian, Gamma: 1, Method: bounds.Quadratic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := r.Predict([]float64{2}, 1e-6)
+	if err != nil || !ok {
+		t.Fatalf("predict failed: %v %v", ok, err)
+	}
+	if math.Abs(got+2) > 1e-4 {
+		t.Errorf("constant fit = %g, want −2", got)
+	}
+}
+
+func TestPredictFarQueryUndefined(t *testing.T) {
+	// With a finite-support kernel, a far query has zero density: ok=false.
+	x := geom.NewPoints([]float64{0, 0.1, 0.2}, 1)
+	y := []float64{1, 2, 3}
+	r, err := New(x, y, Config{Kernel: kernel.Triangular, Gamma: 1, Method: bounds.Quadratic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err := r.Predict([]float64{100}, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("far query with finite-support kernel should be undefined")
+	}
+}
+
+func TestPredictDimMismatch(t *testing.T) {
+	x := geom.NewPoints([]float64{0, 1}, 1)
+	r, err := New(x, []float64{1, 2}, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Predict([]float64{1, 2}, 1e-4); err == nil {
+		t.Error("wrong-dim query accepted")
+	}
+	if r.Dim() != 1 {
+		t.Errorf("Dim = %d", r.Dim())
+	}
+}
+
+// TestPredictionsWithinResponseRange: NW estimates are convex combinations
+// of the responses.
+func TestPredictionsWithinResponseRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(173))
+	x, y := sineData(rng, 2000, 0.3)
+	r, err := New(x, y, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	yMin, yMax := y[0], y[0]
+	for _, v := range y {
+		yMin = math.Min(yMin, v)
+		yMax = math.Max(yMax, v)
+	}
+	for trial := 0; trial < 30; trial++ {
+		q := []float64{rng.Float64() * 2 * math.Pi}
+		got, ok, err := r.Predict(q, 1e-3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok && (got < yMin-1e-9 || got > yMax+1e-9) {
+			t.Fatalf("prediction %g outside response range [%g, %g]", got, yMin, yMax)
+		}
+	}
+}

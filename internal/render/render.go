@@ -1,0 +1,125 @@
+// Package render turns density rasters into color maps: a continuous
+// blue→red heat ramp for εKDV/exact maps (the paper's Figures 1, 2a–b, 19,
+// 21) and a two-color map for τKDV (Figure 2c). Output is stdlib image/png.
+package render
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+	"os"
+
+	"github.com/quadkdv/quad/internal/grid"
+)
+
+// Scale selects how density values map to ramp positions.
+type Scale int
+
+const (
+	// Linear maps [min, max] linearly onto the ramp.
+	Linear Scale = iota
+	// Log maps values through log1p, emphasizing low-density structure —
+	// the usual choice for skewed KDV maps.
+	Log
+)
+
+// heatStops is the blue→cyan→green→yellow→red ramp, the classic KDV
+// "criminal risk" palette of Figure 1.
+var heatStops = []struct {
+	pos     float64
+	r, g, b uint8
+}{
+	{0.00, 13, 8, 135},
+	{0.25, 0, 144, 221},
+	{0.50, 60, 200, 110},
+	{0.75, 244, 209, 60},
+	{1.00, 220, 20, 30},
+}
+
+// HeatColor maps t ∈ [0,1] onto the heat ramp.
+func HeatColor(t float64) color.RGBA {
+	if math.IsNaN(t) || t <= 0 {
+		s := heatStops[0]
+		return color.RGBA{s.r, s.g, s.b, 255}
+	}
+	if t >= 1 {
+		s := heatStops[len(heatStops)-1]
+		return color.RGBA{s.r, s.g, s.b, 255}
+	}
+	for i := 1; i < len(heatStops); i++ {
+		if t <= heatStops[i].pos {
+			lo, hi := heatStops[i-1], heatStops[i]
+			f := (t - lo.pos) / (hi.pos - lo.pos)
+			return color.RGBA{
+				uint8(float64(lo.r) + f*(float64(hi.r)-float64(lo.r))),
+				uint8(float64(lo.g) + f*(float64(hi.g)-float64(lo.g))),
+				uint8(float64(lo.b) + f*(float64(hi.b)-float64(lo.b))),
+				255,
+			}
+		}
+	}
+	s := heatStops[len(heatStops)-1]
+	return color.RGBA{s.r, s.g, s.b, 255}
+}
+
+// Heatmap renders a density raster as a heat-ramp image. The raster's pixel
+// (0,0) is the window's lower-left corner, so rows are flipped into image
+// space (top-left origin).
+func Heatmap(v *grid.Values, scale Scale) *image.RGBA {
+	lo, hi := v.MinMax()
+	img := image.NewRGBA(image.Rect(0, 0, v.Res.W, v.Res.H))
+	denom := hi - lo
+	if denom <= 0 {
+		denom = 1
+	}
+	for py := 0; py < v.Res.H; py++ {
+		for px := 0; px < v.Res.W; px++ {
+			t := (v.At(px, py) - lo) / denom
+			if scale == Log {
+				t = math.Log1p(63*t) / math.Log(64)
+			}
+			img.SetRGBA(px, v.Res.H-1-py, HeatColor(t))
+		}
+	}
+	return img
+}
+
+// Binary renders a τKDV classification raster: hot pixels in red, cold in a
+// deep blue, matching the two-color map of Figure 2c.
+func Binary(res grid.Resolution, hot []bool) (*image.RGBA, error) {
+	if len(hot) != res.Pixels() {
+		return nil, fmt.Errorf("render: classification has %d entries, want %d", len(hot), res.Pixels())
+	}
+	hotC := color.RGBA{220, 20, 30, 255}
+	coldC := color.RGBA{13, 8, 135, 255}
+	img := image.NewRGBA(image.Rect(0, 0, res.W, res.H))
+	for py := 0; py < res.H; py++ {
+		for px := 0; px < res.W; px++ {
+			c := coldC
+			if hot[py*res.W+px] {
+				c = hotC
+			}
+			img.SetRGBA(px, res.H-1-py, c)
+		}
+	}
+	return img, nil
+}
+
+// EncodePNG writes the image as PNG.
+func EncodePNG(w io.Writer, img image.Image) error { return png.Encode(w, img) }
+
+// SavePNG writes the image as a PNG file at path.
+func SavePNG(path string, img image.Image) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := png.Encode(f, img); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

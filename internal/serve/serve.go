@@ -1,0 +1,308 @@
+// Package serve exposes the KDV library over HTTP — the shape in which KDV
+// ships inside the analytics platforms the paper names (ArcGIS, QGIS,
+// Scikit-learn): a renderer that a front end can query for color-map tiles
+// at interactive latencies, with the progressive framework handling strict
+// time budgets.
+//
+// Endpoints:
+//
+//	GET /info                            JSON: datasets, kernels, methods
+//	GET /render?dataset=crime&eps=0.01   εKDV heat map PNG
+//	GET /hotspots?dataset=crime&tau=mu+0.2   τKDV two-color PNG
+//	GET /progressive?dataset=crime&budget=500ms   budgeted heat map PNG
+//
+// Common query parameters: dataset (name of a synthetic analogue), n
+// (cardinality), res (WxH), kernel, method, seed, log (0/1 color scale).
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	quad "github.com/quadkdv/quad"
+	"github.com/quadkdv/quad/internal/dataset"
+	"github.com/quadkdv/quad/internal/grid"
+	"github.com/quadkdv/quad/internal/render"
+)
+
+// maxPixels caps requested rasters to keep a single request from consuming
+// the server (2560×1920, the paper's largest screen).
+const maxPixels = 2560 * 1920
+
+// maxN caps requested dataset cardinalities.
+const maxN = 10_000_000
+
+// Server renders KDV maps over HTTP. Built KDV instances are cached per
+// (dataset, n, seed, kernel, method) so repeated interactions are fast.
+type Server struct {
+	mu    sync.Mutex
+	cache map[string]*quad.KDV
+	// DefaultN is the dataset size used when ?n= is absent.
+	DefaultN int
+}
+
+// NewServer returns a Server with sane defaults.
+func NewServer() *Server {
+	return &Server{cache: make(map[string]*quad.KDV), DefaultN: 100000}
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /info", s.handleInfo)
+	mux.HandleFunc("GET /render", s.handleRender)
+	mux.HandleFunc("GET /hotspots", s.handleHotspots)
+	mux.HandleFunc("GET /progressive", s.handleProgressive)
+	return mux
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	info := map[string]any{
+		"datasets": dataset.Names(),
+		"kernels": []string{"gaussian", "triangular", "cosine", "exponential",
+			"epanechnikov", "quartic", "uniform"},
+		"methods":   []string{"quad", "karl", "minmax", "exact", "zorder"},
+		"default_n": s.DefaultN,
+		"endpoints": []string{"/render", "/hotspots", "/progressive"},
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(info); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// request carries the parsed common parameters.
+type request struct {
+	kdv      *quad.KDV
+	res      quad.Resolution
+	eps      float64
+	logScale bool
+	window   quad.Window
+}
+
+func (s *Server) parse(r *http.Request) (*request, error) {
+	q := r.URL.Query()
+	name := q.Get("dataset")
+	if name == "" {
+		return nil, fmt.Errorf("dataset parameter is required (one of %v)", dataset.Names())
+	}
+	n := s.DefaultN
+	if v := q.Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 || parsed > maxN {
+			return nil, fmt.Errorf("bad n %q (1..%d)", v, maxN)
+		}
+		n = parsed
+	}
+	seed := int64(1)
+	if v := q.Get("seed"); v != "" {
+		parsed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q", v)
+		}
+		seed = parsed
+	}
+	kernName := q.Get("kernel")
+	if kernName == "" {
+		kernName = "gaussian"
+	}
+	kern, err := quad.ParseKernel(kernName)
+	if err != nil {
+		return nil, err
+	}
+	methodName := q.Get("method")
+	if methodName == "" {
+		methodName = "quad"
+	}
+	method, err := quad.ParseMethod(methodName)
+	if err != nil {
+		return nil, err
+	}
+	res := quad.Resolution{W: 640, H: 480}
+	if v := q.Get("res"); v != "" {
+		parts := strings.Split(strings.ToLower(v), "x")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad res %q (want WxH)", v)
+		}
+		res.W, err = strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad res %q", v)
+		}
+		res.H, err = strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad res %q", v)
+		}
+	}
+	if res.W < 1 || res.H < 1 || res.W*res.H > maxPixels {
+		return nil, fmt.Errorf("resolution %dx%d out of range (max %d pixels)", res.W, res.H, maxPixels)
+	}
+	eps := 0.01
+	if v := q.Get("eps"); v != "" {
+		eps, err = strconv.ParseFloat(v, 64)
+		if err != nil || eps < 0 || eps > 1 {
+			return nil, fmt.Errorf("bad eps %q (0..1)", v)
+		}
+	}
+	var window quad.Window
+	if v := q.Get("bbox"); v != "" {
+		// bbox=minX,minY,maxX,maxY — the pan/zoom window.
+		parts := strings.Split(v, ",")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("bad bbox %q (want minX,minY,maxX,maxY)", v)
+		}
+		vals := make([]float64, 4)
+		for i, p := range parts {
+			vals[i], err = strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad bbox %q", v)
+			}
+		}
+		window = quad.Window{MinX: vals[0], MinY: vals[1], MaxX: vals[2], MaxY: vals[3]}
+		if window.MaxX <= window.MinX || window.MaxY <= window.MinY {
+			return nil, fmt.Errorf("degenerate bbox %q", v)
+		}
+	}
+	kdv, err := s.kdvFor(name, n, seed, kern, method, eps)
+	if err != nil {
+		return nil, err
+	}
+	return &request{
+		kdv:      kdv,
+		res:      res,
+		eps:      eps,
+		logScale: q.Get("log") != "0",
+		window:   window,
+	}, nil
+}
+
+func (s *Server) kdvFor(name string, n int, seed int64, kern quad.Kernel, method quad.Method, eps float64) (*quad.KDV, error) {
+	key := fmt.Sprintf("%s/%d/%d/%s/%s", name, n, seed, kern, method)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if k, ok := s.cache[key]; ok {
+		return k, nil
+	}
+	pts, err := dataset.Generate(name, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	pts = dataset.First2D(pts)
+	k, err := quad.New(pts.Coords, pts.Dim,
+		quad.WithKernel(kern), quad.WithMethod(method), quad.WithZOrderGuarantee(eps, 0.2))
+	if err != nil {
+		return nil, err
+	}
+	s.cache[key] = k
+	return k, nil
+}
+
+func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
+	req, err := s.parse(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	dm, err := req.kdv.RenderEpsIn(req.res, req.eps, req.window)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeDensityPNG(w, dm, req.logScale)
+}
+
+func (s *Server) handleHotspots(w http.ResponseWriter, r *http.Request) {
+	req, err := s.parse(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	tau, err := s.resolveTau(req, r.URL.Query().Get("tau"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	hm, err := req.kdv.RenderTauIn(req.res, tau, req.window)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	img, err := render.Binary(grid.Resolution{W: hm.Res.W, H: hm.Res.H}, hm.Hot)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "image/png")
+	w.Header().Set("X-KDV-Tau", strconv.FormatFloat(tau, 'g', -1, 64))
+	if err := render.EncodePNG(w, img); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// resolveTau parses "mu", "mu+0.2", "mu-0.1" or a literal number.
+func (s *Server) resolveTau(req *request, spec string) (float64, error) {
+	spec = strings.TrimSpace(strings.ToLower(spec))
+	if spec == "" {
+		spec = "mu"
+	}
+	if v, err := strconv.ParseFloat(spec, 64); err == nil {
+		return v, nil
+	}
+	if !strings.HasPrefix(spec, "mu") {
+		return 0, fmt.Errorf("bad tau %q (number, 'mu', or 'mu±k')", spec)
+	}
+	mult := 0.0
+	if rest := spec[2:]; rest != "" {
+		v, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad tau %q", spec)
+		}
+		mult = v
+	}
+	stride := 1 + req.res.W*req.res.H/4096
+	mu, sigma, err := req.kdv.ThresholdStats(req.res, stride, req.eps)
+	if err != nil {
+		return 0, err
+	}
+	return mu + mult*sigma, nil
+}
+
+func (s *Server) handleProgressive(w http.ResponseWriter, r *http.Request) {
+	req, err := s.parse(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	budget := 500 * time.Millisecond
+	if v := r.URL.Query().Get("budget"); v != "" {
+		budget, err = time.ParseDuration(v)
+		if err != nil || budget <= 0 || budget > time.Minute {
+			http.Error(w, fmt.Sprintf("bad budget %q (0 < d ≤ 1m)", v), http.StatusBadRequest)
+			return
+		}
+	}
+	res, err := req.kdv.RenderProgressive(req.res, req.eps, budget, 0)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("X-KDV-Evaluated", strconv.Itoa(res.Evaluated))
+	w.Header().Set("X-KDV-Complete", strconv.FormatBool(res.Complete))
+	writeDensityPNG(w, res.Map, req.logScale)
+}
+
+func writeDensityPNG(w http.ResponseWriter, dm *quad.DensityMap, logScale bool) {
+	v := &grid.Values{Res: grid.Resolution{W: dm.Res.W, H: dm.Res.H}, Data: dm.Values}
+	scale := render.Linear
+	if logScale {
+		scale = render.Log
+	}
+	w.Header().Set("Content-Type", "image/png")
+	if err := render.EncodePNG(w, render.Heatmap(v, scale)); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

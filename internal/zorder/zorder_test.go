@@ -1,0 +1,159 @@
+package zorder
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/quadkdv/quad/internal/geom"
+	"github.com/quadkdv/quad/internal/kernel"
+)
+
+func TestInterleaveBits(t *testing.T) {
+	if got := interleave(0b11); got != 0b101 {
+		t.Errorf("interleave(0b11) = %b", got)
+	}
+	if got := interleave(0); got != 0 {
+		t.Errorf("interleave(0) = %d", got)
+	}
+	// Interleaved bits occupy only even positions.
+	if got := interleave(0xFFFF); got&0xAAAAAAAAAAAAAAAA != 0 {
+		t.Errorf("interleave produced odd-position bits: %b", got)
+	}
+}
+
+func TestCodeOrderingPreservesLocality(t *testing.T) {
+	w := geom.Rect{Min: []float64{0, 0}, Max: []float64{1, 1}}
+	// Same cell → same code; distant cells → different codes.
+	a := Code([]float64{0.1, 0.1}, w)
+	b := Code([]float64{0.100001, 0.100001}, w)
+	c := Code([]float64{0.9, 0.9}, w)
+	if a != b {
+		t.Error("near-identical points got different codes")
+	}
+	if a == c {
+		t.Error("distant points got identical codes")
+	}
+}
+
+func TestQuantizeClamps(t *testing.T) {
+	if quantize(-5, 0, 1) != 0 {
+		t.Error("below-range value not clamped to 0")
+	}
+	if got := quantize(5, 0, 1); got != 1<<gridBits-1 {
+		t.Errorf("above-range value = %d", got)
+	}
+	if quantize(0.5, 1, 1) != 0 {
+		t.Error("degenerate range should map to 0")
+	}
+}
+
+func TestSampleSize(t *testing.T) {
+	m1 := SampleSize(0.01, 0.2, 1000000)
+	m2 := SampleSize(0.05, 0.2, 1000000)
+	if m1 <= m2 {
+		t.Errorf("smaller ε must need a bigger sample: %d vs %d", m1, m2)
+	}
+	if got := SampleSize(0.01, 0.2, 100); got != 100 {
+		t.Errorf("sample capped at n: got %d", got)
+	}
+	if got := SampleSize(0, 0.2, 50); got != 50 {
+		t.Errorf("ε=0 should return n: got %d", got)
+	}
+}
+
+func TestNewSamplerValidation(t *testing.T) {
+	if _, err := NewSampler(geom.NewPoints([]float64{1, 2, 3}, 3)); err == nil {
+		t.Error("3-d dataset accepted")
+	}
+	if _, err := NewSampler(geom.Points{Dim: 2}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestSampleSystematic(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	coords := make([]float64, 0, 2000)
+	for i := 0; i < 1000; i++ {
+		coords = append(coords, rng.Float64()*10, rng.Float64()*10)
+	}
+	s, err := NewSampler(geom.NewPoints(coords, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample, mult := s.Sample(100)
+	if sample.Len() != 100 {
+		t.Errorf("sample size %d, want 100", sample.Len())
+	}
+	if math.Abs(mult-10) > 1e-9 {
+		t.Errorf("weight multiplier %g, want 10", mult)
+	}
+	full, mult := s.Sample(5000)
+	if full.Len() != 1000 || mult != 1 {
+		t.Errorf("oversized request: len=%d mult=%g", full.Len(), mult)
+	}
+}
+
+// TestSampleKDEApproximation: the reweighted sample KDE should approximate
+// the full KDE within a loose tolerance at well-populated queries.
+func TestSampleKDEApproximation(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	n := 20000
+	coords := make([]float64, 0, n*2)
+	for i := 0; i < n; i++ {
+		coords = append(coords, rng.NormFloat64(), rng.NormFloat64())
+	}
+	pts := geom.NewPoints(coords, 2)
+	s, err := NewSampler(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample, mult := s.Sample(4000)
+	w := 1 / float64(n)
+	q := []float64{0, 0}
+	var exact float64
+	for i := 0; i < pts.Len(); i++ {
+		exact += kernel.Gaussian.Eval(1, geom.Dist2(q, pts.At(i)))
+	}
+	exact *= w
+	var approx float64
+	for i := 0; i < sample.Len(); i++ {
+		approx += kernel.Gaussian.Eval(1, geom.Dist2(q, sample.At(i)))
+	}
+	approx *= w * mult
+	if rel := math.Abs(approx-exact) / exact; rel > 0.1 {
+		t.Errorf("sample KDE off by %g (approx %g, exact %g)", rel, approx, exact)
+	}
+}
+
+// TestSampleSpatialStratification: a Z-order systematic sample should cover
+// all four quadrants of a uniform dataset.
+func TestSampleSpatialStratification(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	coords := make([]float64, 0, 8000)
+	for i := 0; i < 4000; i++ {
+		coords = append(coords, rng.Float64(), rng.Float64())
+	}
+	s, err := NewSampler(geom.NewPoints(coords, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample, _ := s.Sample(64)
+	var quadCount [4]int
+	for i := 0; i < sample.Len(); i++ {
+		p := sample.At(i)
+		idx := 0
+		if p[0] > 0.5 {
+			idx |= 1
+		}
+		if p[1] > 0.5 {
+			idx |= 2
+		}
+		quadCount[idx]++
+	}
+	for qd, c := range quadCount {
+		if c == 0 {
+			t.Errorf("quadrant %d received no samples — stratification broken", qd)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package quad
+
+import (
+	"fmt"
+
+	"github.com/quadkdv/quad/internal/bounds"
+	"github.com/quadkdv/quad/internal/engine"
+)
+
+// acquireEngine hands out a per-goroutine engine (engines hold scratch
+// buffers and a reusable priority queue, so they cannot be shared).
+func (k *KDV) acquireEngine() (*engine.Engine, error) {
+	if k.proto == nil {
+		return nil, fmt.Errorf("quad: method %s does not use the bound engine", k.cfg.method)
+	}
+	if e, ok := k.engines.Get().(*engine.Engine); ok {
+		return e, nil
+	}
+	return engine.New(k.tree, k.proto.Clone())
+}
+
+func (k *KDV) releaseEngine(e *engine.Engine) { k.engines.Put(e) }
+
+func (k *KDV) checkQuery(q []float64) error {
+	if len(q) != k.pts.Dim {
+		return fmt.Errorf("quad: query has dimension %d, dataset has %d", len(q), k.pts.Dim)
+	}
+	return nil
+}
+
+// Density computes the exact kernel density F_P(q) by a sequential scan.
+func (k *KDV) Density(q []float64) (float64, error) {
+	if err := k.checkQuery(q); err != nil {
+		return 0, err
+	}
+	return bounds.ExactScan(k.pts, k.weights, k.cfg.kern.internal(), k.bw.Gamma, k.bw.Weight, q), nil
+}
+
+// Estimate answers an εKDV query: a value R with |R − F_P(q)| ≤ ε·F_P(q).
+// For MethodExact and MethodZOrder the method's native evaluation is
+// returned (exact, respectively sample-exact with a probabilistic
+// guarantee).
+func (k *KDV) Estimate(q []float64, eps float64) (float64, error) {
+	if err := k.checkQuery(q); err != nil {
+		return 0, err
+	}
+	if eps < 0 {
+		return 0, fmt.Errorf("quad: negative relative error %g", eps)
+	}
+	switch k.cfg.method {
+	case MethodExact:
+		return bounds.ExactScan(k.pts, k.weights, k.cfg.kern.internal(), k.bw.Gamma, k.bw.Weight, q), nil
+	case MethodZOrder:
+		return bounds.ExactScan(k.sample, nil, k.cfg.kern.internal(), k.bw.Gamma, k.sampleWeight, q), nil
+	}
+	e, err := k.acquireEngine()
+	if err != nil {
+		return 0, err
+	}
+	defer k.releaseEngine(e)
+	v, _ := e.EvalEps(q, eps)
+	return v, nil
+}
+
+// IsHot answers a τKDV query: whether F_P(q) ≥ τ. For MethodExact and
+// MethodZOrder the density is computed directly and compared.
+func (k *KDV) IsHot(q []float64, tau float64) (bool, error) {
+	if err := k.checkQuery(q); err != nil {
+		return false, err
+	}
+	switch k.cfg.method {
+	case MethodExact:
+		return bounds.ExactScan(k.pts, k.weights, k.cfg.kern.internal(), k.bw.Gamma, k.bw.Weight, q) >= tau, nil
+	case MethodZOrder:
+		return bounds.ExactScan(k.sample, nil, k.cfg.kern.internal(), k.bw.Gamma, k.sampleWeight, q) >= tau, nil
+	}
+	e, err := k.acquireEngine()
+	if err != nil {
+		return false, err
+	}
+	defer k.releaseEngine(e)
+	hot, _ := e.EvalTau(q, tau)
+	return hot, nil
+}
+
+// DensityBounds returns the bounds the configured method derives for the
+// whole dataset at q without any refinement — useful for inspecting bound
+// tightness (paper Section 7.3). Only bound-based methods support it.
+func (k *KDV) DensityBounds(q []float64) (lb, ub float64, err error) {
+	if err := k.checkQuery(q); err != nil {
+		return 0, 0, err
+	}
+	e, err := k.acquireEngine()
+	if err != nil {
+		return 0, 0, err
+	}
+	defer k.releaseEngine(e)
+	lb, ub = e.Ev.Bounds(e.Tree.Root, q)
+	return lb, ub, nil
+}

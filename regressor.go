@@ -1,0 +1,74 @@
+package quad
+
+import (
+	"fmt"
+
+	"github.com/quadkdv/quad/internal/geom"
+	"github.com/quadkdv/quad/internal/kernel"
+	"github.com/quadkdv/quad/internal/regress"
+	"github.com/quadkdv/quad/internal/stats"
+)
+
+// Regressor is a Nadaraya–Watson kernel regressor built on the same bound
+// machinery as εKDV — the paper's "kernel regression" future-work direction.
+// Predictions come with a controlled tolerance: the numerator and
+// denominator aggregates are refined only until the prediction's certified
+// bracket is narrow enough, so each Predict typically touches a small
+// fraction of the training set.
+type Regressor struct {
+	impl *regress.Regressor
+}
+
+// NewRegressor fits a kernel regressor to features X (one point per row)
+// and responses y. gamma ≤ 0 selects Scott's rule over X. Responses may be
+// negative; the estimator splits the numerator into signed parts
+// internally.
+func NewRegressor(x [][]float64, y []float64, kern Kernel, gamma float64, opts ...Option) (*Regressor, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("quad: empty training set")
+	}
+	dim := len(x[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("quad: zero-dimensional features")
+	}
+	coords := make([]float64, 0, len(x)*dim)
+	for i, p := range x {
+		if len(p) != dim {
+			return nil, fmt.Errorf("quad: point %d has dim %d, want %d", i, len(p), dim)
+		}
+		coords = append(coords, p...)
+	}
+	pts := geom.NewPoints(coords, dim)
+	cfg := config{method: MethodQuadratic}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	method, err := toBoundsMethod(cfg.method)
+	if err != nil {
+		return nil, fmt.Errorf("quad: regressor requires a bound-based method: %w", err)
+	}
+	if gamma <= 0 {
+		gamma = stats.ScottsRule(pts, kern.internal()).Gamma
+	}
+	impl, err := regress.New(pts, append([]float64(nil), y...), regress.Config{
+		Kernel:   kernel.Kernel(kern),
+		Gamma:    gamma,
+		Method:   method,
+		LeafSize: cfg.leafSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Regressor{impl: impl}, nil
+}
+
+// Predict returns the regression estimate at q within the given relative
+// tolerance (tol ≤ 0 selects 1e-6). ok is false where the kernel mass at q
+// is zero (the estimator is undefined there, e.g. far outside a
+// finite-support kernel's reach). Safe for concurrent use.
+func (r *Regressor) Predict(q []float64, tol float64) (value float64, ok bool, err error) {
+	return r.impl.Predict(q, tol)
+}
+
+// Dim returns the feature dimensionality.
+func (r *Regressor) Dim() int { return r.impl.Dim() }

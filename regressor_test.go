@@ -1,0 +1,79 @@
+package quad
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewRegressorValidation(t *testing.T) {
+	if _, err := NewRegressor(nil, nil, Gaussian, 0); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := NewRegressor([][]float64{{}}, []float64{1}, Gaussian, 0); err == nil {
+		t.Error("zero-dim features accepted")
+	}
+	if _, err := NewRegressor([][]float64{{1}, {2, 3}}, []float64{1, 2}, Gaussian, 0); err == nil {
+		t.Error("ragged features accepted")
+	}
+	if _, err := NewRegressor([][]float64{{1}}, []float64{1, 2}, Gaussian, 0); err == nil {
+		t.Error("response length mismatch accepted")
+	}
+	if _, err := NewRegressor([][]float64{{1}, {2}}, []float64{1, 2}, Gaussian, 0, WithMethod(MethodExact)); err == nil {
+		t.Error("exact method accepted (regressor needs bounds)")
+	}
+}
+
+func TestRegressorEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(180))
+	// 2-d regression surface z = x − y with noise.
+	n := 4000
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		a, b := rng.Float64()*4, rng.Float64()*4
+		x[i] = []float64{a, b}
+		y[i] = a - b + rng.NormFloat64()*0.05
+	}
+	r, err := NewRegressor(x, y, Gaussian, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dim() != 2 {
+		t.Errorf("Dim = %d", r.Dim())
+	}
+	for trial := 0; trial < 15; trial++ {
+		a, b := 0.5+rng.Float64()*3, 0.5+rng.Float64()*3
+		got, ok, err := r.Predict([]float64{a, b}, 1e-3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("prediction undefined at (%g, %g)", a, b)
+		}
+		if math.Abs(got-(a-b)) > 0.25 {
+			t.Errorf("Predict(%g, %g) = %g, want ≈ %g", a, b, got, a-b)
+		}
+	}
+	if _, _, err := r.Predict([]float64{1}, 1e-3); err == nil {
+		t.Error("wrong-dim query accepted")
+	}
+}
+
+func TestRegressorScottGammaDefault(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	x := make([][]float64, 500)
+	y := make([]float64, 500)
+	for i := range x {
+		x[i] = []float64{rng.NormFloat64()}
+		y[i] = 3
+	}
+	r, err := NewRegressor(x, y, Gaussian, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := r.Predict([]float64{0}, 1e-6)
+	if !ok || math.Abs(got-3) > 1e-4 {
+		t.Errorf("constant regression = %g (ok=%v), want 3", got, ok)
+	}
+}

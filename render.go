@@ -1,0 +1,443 @@
+package quad
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/quadkdv/quad/internal/bounds"
+	"github.com/quadkdv/quad/internal/engine"
+	"github.com/quadkdv/quad/internal/geom"
+	"github.com/quadkdv/quad/internal/grid"
+	"github.com/quadkdv/quad/internal/progressive"
+	"github.com/quadkdv/quad/internal/render"
+	"github.com/quadkdv/quad/internal/stats"
+)
+
+// DensityMap is a rendered density raster: Values[y*Res.W+x] is the density
+// of pixel (x, y), with pixel (0, 0) at the lower-left corner of the
+// data-space window.
+type DensityMap struct {
+	Res    Resolution
+	Values []float64
+	// WindowMin/WindowMax are the data-space corners of the rendered
+	// window.
+	WindowMin, WindowMax [2]float64
+}
+
+// At returns the density value of pixel (x, y).
+func (m *DensityMap) At(x, y int) float64 { return m.Values[y*m.Res.W+x] }
+
+// MuSigma returns the mean and standard deviation of the map's density
+// values — the statistics the paper's τ thresholds are expressed in.
+func (m *DensityMap) MuSigma() (mu, sigma float64) { return stats.MuSigma(m.Values) }
+
+// SavePNG renders the map through the heat-color ramp and writes a PNG.
+// logScale applies a logarithmic color scale, which suits the heavy density
+// skew of typical KDV data.
+func (m *DensityMap) SavePNG(path string, logScale bool) error {
+	v := &grid.Values{Res: m.Res.internal(), Data: m.Values}
+	scale := render.Linear
+	if logScale {
+		scale = render.Log
+	}
+	return render.SavePNG(path, render.Heatmap(v, scale))
+}
+
+// HotspotMap is a rendered τKDV raster: Hot[y*Res.W+x] reports whether
+// pixel (x, y) has density ≥ τ.
+type HotspotMap struct {
+	Res                  Resolution
+	Tau                  float64
+	Hot                  []bool
+	WindowMin, WindowMax [2]float64
+}
+
+// At reports whether pixel (x, y) is hot.
+func (m *HotspotMap) At(x, y int) bool { return m.Hot[y*m.Res.W+x] }
+
+// HotFraction returns the fraction of hot pixels.
+func (m *HotspotMap) HotFraction() float64 {
+	var n int
+	for _, h := range m.Hot {
+		if h {
+			n++
+		}
+	}
+	return float64(n) / float64(len(m.Hot))
+}
+
+// SavePNG writes the two-color hotspot map as a PNG.
+func (m *HotspotMap) SavePNG(path string) error {
+	img, err := render.Binary(m.Res.internal(), m.Hot)
+	if err != nil {
+		return err
+	}
+	return render.SavePNG(path, img)
+}
+
+// Window is a 2-d data-space rectangle selecting the region a render
+// covers — the pan/zoom primitive for interactive exploration. The zero
+// Window means "the dataset's bounding box plus the configured margin".
+type Window struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// IsZero reports whether the window is unset.
+func (w Window) IsZero() bool { return w == Window{} }
+
+func (w Window) validate() error {
+	if w.MaxX <= w.MinX || w.MaxY <= w.MinY {
+		return fmt.Errorf("quad: degenerate window [%g,%g]x[%g,%g]", w.MinX, w.MaxX, w.MinY, w.MaxY)
+	}
+	return nil
+}
+
+func (k *KDV) newGrid(res Resolution) (*grid.Grid, error) {
+	return k.newGridIn(res, Window{})
+}
+
+func (k *KDV) newGridIn(res Resolution, w Window) (*grid.Grid, error) {
+	if k.pts.Dim != 2 {
+		return nil, fmt.Errorf("quad: rendering requires a 2-d dataset, got %d-d (use Estimate for general KDE)", k.pts.Dim)
+	}
+	if w.IsZero() {
+		return grid.ForDataset(res.internal(), k.pts, k.cfg.seedWindow)
+	}
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	return grid.New(res.internal(), geomRect(w))
+}
+
+// renderValues evaluates eval for every pixel of g, splitting rows across
+// the configured number of workers.
+func (k *KDV) renderValues(g *grid.Grid, eval func(q []float64, scratch *evalCtx) float64) ([]float64, error) {
+	vals := make([]float64, g.Res.Pixels())
+	workers := k.cfg.workers
+	if workers > g.Res.H {
+		workers = g.Res.H
+	}
+	var firstErr error
+	var errOnce sync.Once
+	var wg sync.WaitGroup
+	rows := make(chan int, g.Res.H)
+	for y := 0; y < g.Res.H; y++ {
+		rows <- y
+	}
+	close(rows)
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, err := k.newEvalCtx()
+			if err != nil {
+				errOnce.Do(func() { firstErr = err })
+				return
+			}
+			defer ctx.release(k)
+			q := make([]float64, 2)
+			for y := range rows {
+				for x := 0; x < g.Res.W; x++ {
+					g.Query(x, y, q)
+					vals[g.Index(x, y)] = eval(q, ctx)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return vals, nil
+}
+
+// evalCtx carries the per-worker evaluation state: the worker's private
+// engine for bound-based methods, nil for scan-based methods.
+type evalCtx struct {
+	eng *engine.Engine
+}
+
+func (k *KDV) newEvalCtx() (*evalCtx, error) {
+	if k.proto == nil {
+		return &evalCtx{}, nil
+	}
+	e, err := k.acquireEngine()
+	if err != nil {
+		return nil, err
+	}
+	return &evalCtx{eng: e}, nil
+}
+
+func (c *evalCtx) release(k *KDV) {
+	if c.eng != nil {
+		k.releaseEngine(c.eng)
+	}
+}
+
+// RenderEps computes the full εKDV color map at the given resolution over
+// the dataset's bounding window.
+func (k *KDV) RenderEps(res Resolution, eps float64) (*DensityMap, error) {
+	return k.RenderEpsIn(res, eps, Window{})
+}
+
+// RenderEpsIn is RenderEps over an explicit data-space window — the
+// pan/zoom form for interactive exploration. A zero Window selects the
+// dataset's bounding box.
+func (k *KDV) RenderEpsIn(res Resolution, eps float64, win Window) (*DensityMap, error) {
+	if eps < 0 {
+		return nil, fmt.Errorf("quad: negative relative error %g", eps)
+	}
+	g, err := k.newGridIn(res, win)
+	if err != nil {
+		return nil, err
+	}
+	kern := k.cfg.kern.internal()
+	var eval func(q []float64, ctx *evalCtx) float64
+	switch k.cfg.method {
+	case MethodExact:
+		eval = func(q []float64, _ *evalCtx) float64 {
+			return bounds.ExactScan(k.pts, k.weights, kern, k.bw.Gamma, k.bw.Weight, q)
+		}
+	case MethodZOrder:
+		eval = func(q []float64, _ *evalCtx) float64 {
+			return bounds.ExactScan(k.sample, nil, kern, k.bw.Gamma, k.sampleWeight, q)
+		}
+	default:
+		eval = func(q []float64, ctx *evalCtx) float64 {
+			v, _ := ctx.eng.EvalEps(q, eps)
+			return v
+		}
+	}
+	vals, err := k.renderValues(g, eval)
+	if err != nil {
+		return nil, err
+	}
+	return &DensityMap{
+		Res:       res,
+		Values:    vals,
+		WindowMin: [2]float64{g.Window.Min[0], g.Window.Min[1]},
+		WindowMax: [2]float64{g.Window.Max[0], g.Window.Max[1]},
+	}, nil
+}
+
+// RenderTau computes the full τKDV two-color map at the given resolution.
+func (k *KDV) RenderTau(res Resolution, tau float64) (*HotspotMap, error) {
+	return k.RenderTauIn(res, tau, Window{})
+}
+
+// RenderTauIn is RenderTau over an explicit data-space window (see
+// RenderEpsIn).
+func (k *KDV) RenderTauIn(res Resolution, tau float64, win Window) (*HotspotMap, error) {
+	g, err := k.newGridIn(res, win)
+	if err != nil {
+		return nil, err
+	}
+	kern := k.cfg.kern.internal()
+	hot := make([]bool, res.internal().Pixels())
+	eval := func(q []float64, ctx *evalCtx) float64 {
+		var h bool
+		switch k.cfg.method {
+		case MethodExact:
+			h = bounds.ExactScan(k.pts, k.weights, kern, k.bw.Gamma, k.bw.Weight, q) >= tau
+		case MethodZOrder:
+			h = bounds.ExactScan(k.sample, nil, kern, k.bw.Gamma, k.sampleWeight, q) >= tau
+		default:
+			h, _ = ctx.eng.EvalTau(q, tau)
+		}
+		if h {
+			return 1
+		}
+		return 0
+	}
+	vals, err := k.renderValues(g, eval)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range vals {
+		hot[i] = v != 0
+	}
+	return &HotspotMap{
+		Res:       res,
+		Tau:       tau,
+		Hot:       hot,
+		WindowMin: [2]float64{g.Window.Min[0], g.Window.Min[1]},
+		WindowMax: [2]float64{g.Window.Max[0], g.Window.Max[1]},
+	}, nil
+}
+
+// ThresholdStats estimates the mean μ and standard deviation σ of the
+// density over a stride-sampled pixel grid, the quantities the paper's τ
+// ladder (μ ± kσ) is built from. Values are εKDV estimates with the given
+// ε (use a small ε like 0.01).
+func (k *KDV) ThresholdStats(res Resolution, stride int, eps float64) (mu, sigma float64, err error) {
+	if stride < 1 {
+		stride = 1
+	}
+	g, err := k.newGrid(res)
+	if err != nil {
+		return 0, 0, err
+	}
+	var samples []float64
+	q := make([]float64, 2)
+	for y := 0; y < res.H; y += stride {
+		for x := 0; x < res.W; x += stride {
+			g.Query(x, y, q)
+			v, err := k.Estimate(q, eps)
+			if err != nil {
+				return 0, 0, err
+			}
+			samples = append(samples, v)
+		}
+	}
+	mu, sigma = stats.MuSigma(samples)
+	return mu, sigma, nil
+}
+
+// ProgressiveResult is a partial color map produced under a time budget.
+type ProgressiveResult struct {
+	Map *DensityMap
+	// Evaluated is the number of pixels computed exactly (the rest carry
+	// coarse fill values from enclosing regions).
+	Evaluated int
+	// Complete reports whether every pixel was evaluated before the budget
+	// expired.
+	Complete bool
+	// Elapsed is the wall-clock time consumed.
+	Elapsed time.Duration
+}
+
+// RenderProgressive runs the progressive visualization framework (paper
+// Section 6): pixels are εKDV-evaluated in quad-tree order and each value
+// fills its sub-region until refined, so a spatially complete coarse map
+// exists almost immediately. The run stops when budget elapses (≤ 0 means
+// run to completion) or maxPixels pixels were evaluated (≤ 0 means all).
+func (k *KDV) RenderProgressive(res Resolution, eps float64, budget time.Duration, maxPixels int) (*ProgressiveResult, error) {
+	if eps < 0 {
+		return nil, fmt.Errorf("quad: negative relative error %g", eps)
+	}
+	g, err := k.newGrid(res)
+	if err != nil {
+		return nil, err
+	}
+	order, err := progressive.BuildOrder(res.internal())
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := k.newEvalCtx()
+	if err != nil {
+		return nil, err
+	}
+	defer ctx.release(k)
+	kern := k.cfg.kern.internal()
+	q := make([]float64, 2)
+	eval := func(px, py int) float64 {
+		g.Query(px, py, q)
+		switch k.cfg.method {
+		case MethodExact:
+			return bounds.ExactScan(k.pts, k.weights, kern, k.bw.Gamma, k.bw.Weight, q)
+		case MethodZOrder:
+			return bounds.ExactScan(k.sample, nil, kern, k.bw.Gamma, k.sampleWeight, q)
+		default:
+			v, _ := ctx.eng.EvalEps(q, eps)
+			return v
+		}
+	}
+	r := progressive.Run(order, eval, budget, maxPixels)
+	return &ProgressiveResult{
+		Map: &DensityMap{
+			Res:       res,
+			Values:    r.Values.Data,
+			WindowMin: [2]float64{g.Window.Min[0], g.Window.Min[1]},
+			WindowMax: [2]float64{g.Window.Max[0], g.Window.Max[1]},
+		},
+		Evaluated: r.Evaluated,
+		Complete:  r.Complete,
+		Elapsed:   r.Elapsed,
+	}, nil
+}
+
+// Snapshot is a partial color-map state streamed by
+// RenderProgressiveStream: spatially complete at every level, refining
+// monotonically across snapshots.
+type Snapshot struct {
+	// Map is the current raster. Its Values alias the live buffer; copy
+	// them if the snapshot is retained beyond the callback.
+	Map *DensityMap
+	// Evaluated is the number of exactly evaluated pixels so far.
+	Evaluated int
+	// Level is the quad-tree refinement depth just completed.
+	Level int
+	// Elapsed is the wall-clock time since the render started.
+	Elapsed time.Duration
+	// Final marks the stream's last snapshot.
+	Final bool
+}
+
+// RenderProgressiveStream is the streaming form of RenderProgressive: emit
+// is invoked with a spatially complete partial map after every completed
+// quad-tree refinement level and once at the end; returning false stops the
+// render — the "user terminates the process at any time" interaction of
+// paper Section 6. budget ≤ 0 means no time limit.
+func (k *KDV) RenderProgressiveStream(res Resolution, eps float64, budget time.Duration, emit func(Snapshot) bool) (*ProgressiveResult, error) {
+	if eps < 0 {
+		return nil, fmt.Errorf("quad: negative relative error %g", eps)
+	}
+	if emit == nil {
+		return nil, fmt.Errorf("quad: nil snapshot callback (use RenderProgressive for non-streaming renders)")
+	}
+	g, err := k.newGrid(res)
+	if err != nil {
+		return nil, err
+	}
+	order, err := progressive.BuildOrder(res.internal())
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := k.newEvalCtx()
+	if err != nil {
+		return nil, err
+	}
+	defer ctx.release(k)
+	kern := k.cfg.kern.internal()
+	q := make([]float64, 2)
+	eval := func(px, py int) float64 {
+		g.Query(px, py, q)
+		switch k.cfg.method {
+		case MethodExact:
+			return bounds.ExactScan(k.pts, k.weights, kern, k.bw.Gamma, k.bw.Weight, q)
+		case MethodZOrder:
+			return bounds.ExactScan(k.sample, nil, kern, k.bw.Gamma, k.sampleWeight, q)
+		default:
+			v, _ := ctx.eng.EvalEps(q, eps)
+			return v
+		}
+	}
+	dm := &DensityMap{
+		Res:       res,
+		WindowMin: [2]float64{g.Window.Min[0], g.Window.Min[1]},
+		WindowMax: [2]float64{g.Window.Max[0], g.Window.Max[1]},
+	}
+	r := progressive.RunStream(order, eval, budget, 0, func(s progressive.Snapshot) bool {
+		dm.Values = s.Values
+		return emit(Snapshot{
+			Map:       dm,
+			Evaluated: s.Evaluated,
+			Level:     s.Level,
+			Elapsed:   s.Elapsed,
+			Final:     s.Final,
+		})
+	})
+	dm.Values = r.Values.Data
+	return &ProgressiveResult{
+		Map:       dm,
+		Evaluated: r.Evaluated,
+		Complete:  r.Complete,
+		Elapsed:   r.Elapsed,
+	}, nil
+}
+
+// geomRect converts a public Window to the internal rectangle type.
+func geomRect(w Window) geom.Rect {
+	return geom.Rect{Min: []float64{w.MinX, w.MinY}, Max: []float64{w.MaxX, w.MaxY}}
+}
