@@ -1,0 +1,27 @@
+# Development targets for the quad KDV library and its commands.
+
+GO ?= go
+
+.PHONY: build test vet race verify clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the full pre-merge gate: compile everything, lint, and run the
+# whole suite under the race detector.
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+clean:
+	$(GO) clean ./...

@@ -2,40 +2,94 @@
 // interactive front-end shape the paper's motivating platforms (ArcGIS,
 // QGIS) consume KDV through.
 //
-//	kdvserve -addr :8080 -n 100000
+//	kdvserve -addr :8080 -n 100000 -request-timeout 10s -max-concurrent 8
 //
 // Then e.g.:
 //
 //	curl 'http://localhost:8080/render?dataset=crime&res=640x480&eps=0.01' > heat.png
 //	curl 'http://localhost:8080/hotspots?dataset=crime&tau=mu+0.2' > hot.png
 //	curl 'http://localhost:8080/progressive?dataset=home&budget=500ms' > quick.png
+//
+// The server is hardened for production traffic: per-request deadlines,
+// client-disconnect cancellation, bounded render concurrency (429 +
+// Retry-After under overload), a bounded KDV build cache, graceful
+// degradation of /render past its deadline, and graceful shutdown — on
+// SIGINT/SIGTERM it stops accepting connections, drains in-flight requests
+// for up to -shutdown-timeout, then exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/quadkdv/quad/internal/serve"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		addr = flag.String("addr", ":8080", "listen address")
-		n    = flag.Int("n", 100000, "default dataset cardinality")
+		addr            = flag.String("addr", ":8080", "listen address")
+		n               = flag.Int("n", 100000, "default dataset cardinality")
+		requestTimeout  = flag.Duration("request-timeout", 15*time.Second, "per-request render deadline (0 disables)")
+		maxConcurrent   = flag.Int("max-concurrent", 0, "max concurrent renders (0 = GOMAXPROCS)")
+		maxQueue        = flag.Int("max-queue", 0, "max requests queued for a render slot (0 = 2x max-concurrent)")
+		cacheSize       = flag.Int("cache-size", 32, "max cached KDV builds")
+		degradeBudget   = flag.Duration("degrade-budget", 250*time.Millisecond, "progressive fallback budget when /render misses its deadline")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
-	s := serve.NewServer()
-	if *n > 0 {
-		s.DefaultN = *n
-	}
+	s := serve.NewServerWith(serve.Config{
+		DefaultN:       *n,
+		RequestTimeout: *requestTimeout,
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueue:       *maxQueue,
+		CacheSize:      *cacheSize,
+		DegradeBudget:  *degradeBudget,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("kdvserve: listening on %s (default n=%d)", *addr, s.DefaultN)
-	log.Fatal(srv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("kdvserve: listening on %s (default n=%d, request timeout %s)", *addr, s.DefaultN, *requestTimeout)
+
+	select {
+	case err := <-errc:
+		// The listener failed before any shutdown signal.
+		log.Printf("kdvserve: %v", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("kdvserve: shutdown signal received, draining for up to %s", *shutdownTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("kdvserve: drain incomplete: %v", err)
+		_ = srv.Close()
+		return 1
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("kdvserve: %v", err)
+		return 1
+	}
+	log.Printf("kdvserve: drained, exiting cleanly")
+	return 0
 }

@@ -8,6 +8,7 @@
 package progressive
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -142,7 +143,8 @@ type Result struct {
 }
 
 // timeCheckStride balances budget fidelity against clock overhead: the
-// wall-clock is consulted every timeCheckStride evaluations.
+// wall-clock (and the context, in the Ctx variants) is consulted every
+// timeCheckStride evaluations.
 const timeCheckStride = 8
 
 // Run executes the progressive evaluation with eval(px, py) producing each
@@ -152,6 +154,15 @@ const timeCheckStride = 8
 // goes, so the returned raster is always spatially complete after the very
 // first evaluation.
 func Run(o *Order, eval func(px, py int) float64, budget time.Duration, maxPixels int) *Result {
+	res, _ := RunCtx(context.Background(), o, eval, budget, maxPixels)
+	return res
+}
+
+// RunCtx is Run under a context: cancellation is polled every
+// timeCheckStride evaluations and stops the run. The returned Result is
+// always valid — on cancellation it holds the spatially complete partial
+// raster accumulated so far, alongside the non-nil context error.
+func RunCtx(ctx context.Context, o *Order, eval func(px, py int) float64, budget time.Duration, maxPixels int) (*Result, error) {
 	start := time.Now()
 	vals := grid.NewValues(o.Res)
 	exact := make([]bool, o.Res.W*o.Res.H)
@@ -160,9 +171,15 @@ func Run(o *Order, eval func(px, py int) float64, budget time.Duration, maxPixel
 	if maxPixels > 0 && maxPixels < limit {
 		limit = maxPixels
 	}
+	var ctxErr error
 	for i := 0; i < limit; i++ {
-		if budget > 0 && i%timeCheckStride == 0 && time.Since(start) > budget {
-			break
+		if i%timeCheckStride == 0 {
+			if ctxErr = ctx.Err(); ctxErr != nil {
+				break
+			}
+			if budget > 0 && time.Since(start) > budget {
+				break
+			}
 		}
 		px, py := o.Px[i], o.Py[i]
 		v := eval(px, py)
@@ -180,7 +197,7 @@ func Run(o *Order, eval func(px, py int) float64, budget time.Duration, maxPixel
 	}
 	res.Elapsed = time.Since(start)
 	res.Complete = res.Evaluated == o.Len()
-	return res
+	return res, ctxErr
 }
 
 // maxDepth returns the deepest level recorded so far in the order.

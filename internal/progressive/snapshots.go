@@ -1,6 +1,7 @@
 package progressive
 
 import (
+	"context"
 	"time"
 
 	"github.com/quadkdv/quad/internal/grid"
@@ -30,6 +31,15 @@ type Snapshot struct {
 // process at any time" interaction of paper Section 6). budget and
 // maxPixels behave as in Run.
 func RunStream(o *Order, eval func(px, py int) float64, budget time.Duration, maxPixels int, emit func(Snapshot) bool) *Result {
+	res, _ := RunStreamCtx(context.Background(), o, eval, budget, maxPixels, emit)
+	return res
+}
+
+// RunStreamCtx is RunStream under a context: cancellation is polled every
+// timeCheckStride evaluations and stops the run without emitting the final
+// snapshot. As with RunCtx, the returned Result holds the partial raster
+// even when the context error is non-nil.
+func RunStreamCtx(ctx context.Context, o *Order, eval func(px, py int) float64, budget time.Duration, maxPixels int, emit func(Snapshot) bool) (*Result, error) {
 	start := time.Now()
 	vals := grid.NewValues(o.Res)
 	exact := make([]bool, o.Res.W*o.Res.H)
@@ -40,9 +50,16 @@ func RunStream(o *Order, eval func(px, py int) float64, budget time.Duration, ma
 	}
 	level := 0
 	stopped := false
+	var ctxErr error
 	for i := 0; i < limit; i++ {
-		if budget > 0 && i%timeCheckStride == 0 && time.Since(start) > budget {
-			break
+		if i%timeCheckStride == 0 {
+			if ctxErr = ctx.Err(); ctxErr != nil {
+				stopped = true
+				break
+			}
+			if budget > 0 && time.Since(start) > budget {
+				break
+			}
 		}
 		if o.Levels[i] > level {
 			// A new, finer level begins: the previous level is complete.
@@ -82,5 +99,5 @@ func RunStream(o *Order, eval func(px, py int) float64, budget time.Duration, ma
 			Final:     true,
 		})
 	}
-	return res
+	return res, ctxErr
 }

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"context"
+	"errors"
+)
+
+// errBusy reports that both every render slot and every queue position is
+// taken; the HTTP layer maps it to 429 + Retry-After.
+var errBusy = errors.New("serve: at capacity (all render slots and queue positions taken)")
+
+// admission is a two-stage semaphore admission controller: at most
+// cap(slots) renders run concurrently, and at most cap(queue)-cap(slots)
+// further requests may wait for a slot. Anything beyond that is rejected
+// immediately with errBusy so overload turns into fast 429s instead of an
+// unbounded goroutine pile-up.
+type admission struct {
+	slots chan struct{}
+	queue chan struct{}
+}
+
+func newAdmission(concurrent, queueDepth int) *admission {
+	if concurrent < 1 {
+		concurrent = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &admission{
+		slots: make(chan struct{}, concurrent),
+		queue: make(chan struct{}, concurrent+queueDepth),
+	}
+}
+
+// admit claims a render slot, waiting in the bounded queue if all slots are
+// busy. It returns a release func on success; errBusy when the queue is
+// full; ctx.Err() when the caller's context ends while queued.
+func (a *admission) admit(ctx context.Context) (release func(), err error) {
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return nil, errBusy
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return func() { <-a.slots; <-a.queue }, nil
+	case <-ctx.Done():
+		<-a.queue
+		return nil, ctx.Err()
+	}
+}
+
+// inFlight reports the number of currently running renders.
+func (a *admission) inFlight() int { return len(a.slots) }

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	quad "github.com/quadkdv/quad"
+)
+
+// kdvCache is a bounded LRU cache of built KDV instances with singleflight
+// build deduplication: concurrent requests for the same cold key share one
+// build, and builds run outside the lock so cache hits never wait behind a
+// cold build.
+type kdvCache struct {
+	mu       sync.Mutex
+	max      int                      // entry bound (≥ 1)
+	ll       *list.List               // MRU at front; values are *cacheEntry
+	entries  map[string]*list.Element // key → element in ll
+	building map[string]*buildCall    // keys with an in-flight build
+}
+
+type cacheEntry struct {
+	key string
+	kdv *quad.KDV
+}
+
+// buildCall is one in-flight singleflight build; done is closed once kdv
+// and err are final.
+type buildCall struct {
+	done chan struct{}
+	kdv  *quad.KDV
+	err  error
+}
+
+func newKDVCache(max int) *kdvCache {
+	if max < 1 {
+		max = 1
+	}
+	return &kdvCache{
+		max:      max,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+		building: make(map[string]*buildCall),
+	}
+}
+
+// get returns the cached KDV for key, building it with build on a miss.
+// Concurrent misses on one key share a single build; waiters abandon the
+// wait (but not the build) when ctx is cancelled. Build errors are not
+// cached — the next request retries.
+func (c *kdvCache) get(ctx context.Context, key string, build func() (*quad.KDV, error)) (*quad.KDV, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		k := el.Value.(*cacheEntry).kdv
+		c.mu.Unlock()
+		return k, nil
+	}
+	if call, ok := c.building[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-call.done:
+			return call.kdv, call.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	call := &buildCall{done: make(chan struct{})}
+	c.building[key] = call
+	c.mu.Unlock()
+
+	call.kdv, call.err = build()
+
+	c.mu.Lock()
+	delete(c.building, key)
+	if call.err == nil {
+		c.insertLocked(key, call.kdv)
+	}
+	c.mu.Unlock()
+	close(call.done)
+	return call.kdv, call.err
+}
+
+func (c *kdvCache) insertLocked(key string, k *quad.KDV) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).kdv = k
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, kdv: k})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached entries (not counting in-flight builds).
+func (c *kdvCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// contains reports whether key is resident.
+func (c *kdvCache) contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}

@@ -7,21 +7,37 @@
 // Endpoints:
 //
 //	GET /info                            JSON: datasets, kernels, methods
+//	GET /healthz                         JSON liveness probe
 //	GET /render?dataset=crime&eps=0.01   εKDV heat map PNG
 //	GET /hotspots?dataset=crime&tau=mu+0.2   τKDV two-color PNG
 //	GET /progressive?dataset=crime&budget=500ms   budgeted heat map PNG
 //
 // Common query parameters: dataset (name of a synthetic analogue), n
-// (cardinality), res (WxH), kernel, method, seed, log (0/1 color scale).
+// (cardinality), res (WxH), kernel, method, seed, log (0/1 color scale),
+// bbox (pan/zoom window).
+//
+// The serving layer is hardened for interactive traffic: render endpoints
+// pass through a semaphore admission controller (429 + Retry-After when
+// both the render slots and the wait queue are full), run under a
+// per-request deadline, and observe client disconnects — a cancelled
+// request stops its render within one row of pixel work. Built KDV
+// instances live in a bounded LRU cache with singleflight deduplication,
+// so a stampede on a cold key performs one build and hits never wait
+// behind cold builds. When /render misses its deadline it degrades
+// gracefully: the response is the progressive partial raster, flagged
+// X-KDV-Complete: false, instead of an error. Errors are structured JSON,
+// and a panic inside a handler becomes a 500 rather than a dead process.
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	quad "github.com/quadkdv/quad"
@@ -37,28 +53,90 @@ const maxPixels = 2560 * 1920
 // maxN caps requested dataset cardinalities.
 const maxN = 10_000_000
 
-// Server renders KDV maps over HTTP. Built KDV instances are cached per
-// (dataset, n, seed, kernel, method) so repeated interactions are fast.
-type Server struct {
-	mu    sync.Mutex
-	cache map[string]*quad.KDV
-	// DefaultN is the dataset size used when ?n= is absent.
+// Config tunes the serving layer. The zero value of any field selects its
+// default.
+type Config struct {
+	// DefaultN is the dataset size used when ?n= is absent (default 100000).
 	DefaultN int
+	// RequestTimeout is the per-request render deadline. 0 disables
+	// deadlines (renders still stop on client disconnect).
+	RequestTimeout time.Duration
+	// MaxConcurrent bounds simultaneously running renders
+	// (default GOMAXPROCS).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for a render slot beyond
+	// MaxConcurrent; anything past slots+queue is answered 429.
+	// 0 selects the default (2×MaxConcurrent); negative disables
+	// queueing entirely.
+	MaxQueue int
+	// CacheSize bounds the KDV build cache, in entries (default 32).
+	CacheSize int
+	// DegradeBudget is the progressive-render budget granted to /render's
+	// graceful-degradation fallback after its deadline fires
+	// (default 250ms).
+	DegradeBudget time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultN <= 0 {
+		c.DefaultN = 100000
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.MaxQueue == 0:
+		c.MaxQueue = 2 * c.MaxConcurrent
+	case c.MaxQueue < 0:
+		c.MaxQueue = 0
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 32
+	}
+	if c.DegradeBudget <= 0 {
+		c.DegradeBudget = 250 * time.Millisecond
+	}
+	return c
+}
+
+// Server renders KDV maps over HTTP. Built KDV instances are cached per
+// (dataset, n, seed, kernel, method[, eps]) in a bounded LRU with
+// singleflight build deduplication.
+type Server struct {
+	// DefaultN is the dataset size used when ?n= is absent. It may be set
+	// before the server starts handling requests.
+	DefaultN int
+
+	cfg   Config
+	cache *kdvCache
+	adm   *admission
 }
 
 // NewServer returns a Server with sane defaults.
-func NewServer() *Server {
-	return &Server{cache: make(map[string]*quad.KDV), DefaultN: 100000}
+func NewServer() *Server { return NewServerWith(Config{}) }
+
+// NewServerWith returns a Server tuned by cfg; zero fields take defaults.
+func NewServerWith(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		DefaultN: cfg.DefaultN,
+		cfg:      cfg,
+		cache:    newKDVCache(cfg.CacheSize),
+		adm:      newAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
+	}
 }
 
-// Handler returns the HTTP handler tree.
+// Handler returns the HTTP handler tree with the hardening middleware
+// (panic recovery around everything; admission control and per-request
+// deadlines around the render endpoints).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /info", s.handleInfo)
-	mux.HandleFunc("GET /render", s.handleRender)
-	mux.HandleFunc("GET /hotspots", s.handleHotspots)
-	mux.HandleFunc("GET /progressive", s.handleProgressive)
-	return mux
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /render", s.guard(s.handleRender))
+	mux.Handle("GET /hotspots", s.guard(s.handleHotspots))
+	mux.Handle("GET /progressive", s.guard(s.handleProgressive))
+	return recoverJSON(mux)
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -68,12 +146,27 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 			"epanechnikov", "quartic", "uniform"},
 		"methods":   []string{"quad", "karl", "minmax", "exact", "zorder"},
 		"default_n": s.DefaultN,
-		"endpoints": []string{"/render", "/hotspots", "/progressive"},
+		"endpoints": []string{"/render", "/hotspots", "/progressive", "/healthz"},
+		"limits": map[string]any{
+			"max_concurrent":  s.cfg.MaxConcurrent,
+			"max_queue":       s.cfg.MaxQueue,
+			"cache_size":      s.cfg.CacheSize,
+			"request_timeout": s.cfg.RequestTimeout.String(),
+		},
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(info); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, "%v", err)
 	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":    "ok",
+		"in_flight": s.adm.inFlight(),
+		"cached":    s.cache.len(),
+	})
 }
 
 // request carries the parsed common parameters.
@@ -167,7 +260,7 @@ func (s *Server) parse(r *http.Request) (*request, error) {
 			return nil, fmt.Errorf("degenerate bbox %q", v)
 		}
 	}
-	kdv, err := s.kdvFor(name, n, seed, kern, method, eps)
+	kdv, err := s.kdvFor(r.Context(), name, n, seed, kern, method, eps)
 	if err != nil {
 		return nil, err
 	}
@@ -180,71 +273,123 @@ func (s *Server) parse(r *http.Request) (*request, error) {
 	}, nil
 }
 
-func (s *Server) kdvFor(name string, n int, seed int64, kern quad.Kernel, method quad.Method, eps float64) (*quad.KDV, error) {
+// parseError answers a failed parse: context errors (deadline while
+// waiting on a build, client disconnect) keep their server-side status;
+// everything else is the client's fault.
+func parseError(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		requestError(w, r, err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "%v", err)
+}
+
+func (s *Server) kdvFor(ctx context.Context, name string, n int, seed int64, kern quad.Kernel, method quad.Method, eps float64) (*quad.KDV, error) {
+	key := cacheKey(name, n, seed, kern, method, eps)
+	return s.cache.get(ctx, key, func() (*quad.KDV, error) {
+		pts, err := dataset.Generate(name, n, seed)
+		if err != nil {
+			return nil, err
+		}
+		pts = dataset.First2D(pts)
+		return quad.New(pts.Coords, pts.Dim,
+			quad.WithKernel(kern), quad.WithMethod(method), quad.WithZOrderGuarantee(eps, 0.2))
+	})
+}
+
+// cacheKey identifies a built KDV. eps participates only for MethodZOrder,
+// where it dimensions the Z-order sample (WithZOrderGuarantee) — reusing a
+// zorder build across eps values would silently void the sampling
+// guarantee. For the bound-based methods eps is a query parameter, not a
+// build parameter, so keeping it out of the key preserves their hit rate.
+func cacheKey(name string, n int, seed int64, kern quad.Kernel, method quad.Method, eps float64) string {
 	key := fmt.Sprintf("%s/%d/%d/%s/%s", name, n, seed, kern, method)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if k, ok := s.cache[key]; ok {
-		return k, nil
+	if method == quad.MethodZOrder {
+		key += fmt.Sprintf("/eps=%g", eps)
 	}
-	pts, err := dataset.Generate(name, n, seed)
-	if err != nil {
-		return nil, err
-	}
-	pts = dataset.First2D(pts)
-	k, err := quad.New(pts.Coords, pts.Dim,
-		quad.WithKernel(kern), quad.WithMethod(method), quad.WithZOrderGuarantee(eps, 0.2))
-	if err != nil {
-		return nil, err
-	}
-	s.cache[key] = k
-	return k, nil
+	return key
 }
 
 func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	req, err := s.parse(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		parseError(w, r, err)
 		return
 	}
-	dm, err := req.kdv.RenderEpsIn(req.res, req.eps, req.window)
+	dm, err := req.kdv.RenderEpsInCtx(r.Context(), req.res, req.eps, req.window)
+	if err == nil {
+		w.Header().Set("X-KDV-Complete", "true")
+		writeDensityPNG(w, dm, req.logScale)
+		return
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		// Graceful degradation: the deadline fired but the client is still
+		// connected — answer with the progressive partial raster instead
+		// of an error.
+		if pr := s.degraded(r, req); pr != nil {
+			w.Header().Set("X-KDV-Complete", strconv.FormatBool(pr.Complete))
+			w.Header().Set("X-KDV-Evaluated", strconv.Itoa(pr.Evaluated))
+			writeDensityPNG(w, pr.Map, req.logScale)
+			return
+		}
+	}
+	requestError(w, r, err)
+}
+
+// degraded runs the short progressive fallback render for a /render that
+// missed its deadline. It works under the client's base (undeadlined)
+// context so a disconnect still cancels it, bounded by a grace timeout a
+// little above the degrade budget. Returns nil if the fallback also failed
+// (e.g. the client is gone).
+func (s *Server) degraded(r *http.Request, req *request) *quad.ProgressiveResult {
+	base := baseContext(r)
+	if base.Err() != nil {
+		return nil
+	}
+	budget := s.cfg.DegradeBudget
+	ctx, cancel := context.WithTimeout(base, budget+budget/2+100*time.Millisecond)
+	defer cancel()
+	pr, err := req.kdv.RenderProgressiveInCtx(ctx, req.res, req.eps, budget, 0, req.window)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+		return nil
 	}
-	writeDensityPNG(w, dm, req.logScale)
+	return pr
 }
 
 func (s *Server) handleHotspots(w http.ResponseWriter, r *http.Request) {
 	req, err := s.parse(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		parseError(w, r, err)
 		return
 	}
-	tau, err := s.resolveTau(req, r.URL.Query().Get("tau"))
+	tau, err := s.resolveTau(r.Context(), req, r.URL.Query().Get("tau"))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			requestError(w, r, err)
+		} else {
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
 		return
 	}
-	hm, err := req.kdv.RenderTauIn(req.res, tau, req.window)
+	hm, err := req.kdv.RenderTauInCtx(r.Context(), req.res, tau, req.window)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		requestError(w, r, err)
 		return
 	}
 	img, err := render.Binary(grid.Resolution{W: hm.Res.W, H: hm.Res.H}, hm.Hot)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		requestError(w, r, err)
 		return
 	}
 	w.Header().Set("Content-Type", "image/png")
 	w.Header().Set("X-KDV-Tau", strconv.FormatFloat(tau, 'g', -1, 64))
 	if err := render.EncodePNG(w, img); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, "%v", err)
 	}
 }
 
 // resolveTau parses "mu", "mu+0.2", "mu-0.1" or a literal number.
-func (s *Server) resolveTau(req *request, spec string) (float64, error) {
+func (s *Server) resolveTau(ctx context.Context, req *request, spec string) (float64, error) {
 	spec = strings.TrimSpace(strings.ToLower(spec))
 	if spec == "" {
 		spec = "mu"
@@ -264,7 +409,7 @@ func (s *Server) resolveTau(req *request, spec string) (float64, error) {
 		mult = v
 	}
 	stride := 1 + req.res.W*req.res.H/4096
-	mu, sigma, err := req.kdv.ThresholdStats(req.res, stride, req.eps)
+	mu, sigma, err := req.kdv.ThresholdStatsCtx(ctx, req.res, stride, req.eps)
 	if err != nil {
 		return 0, err
 	}
@@ -274,20 +419,25 @@ func (s *Server) resolveTau(req *request, spec string) (float64, error) {
 func (s *Server) handleProgressive(w http.ResponseWriter, r *http.Request) {
 	req, err := s.parse(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		parseError(w, r, err)
 		return
 	}
 	budget := 500 * time.Millisecond
 	if v := r.URL.Query().Get("budget"); v != "" {
 		budget, err = time.ParseDuration(v)
 		if err != nil || budget <= 0 || budget > time.Minute {
-			http.Error(w, fmt.Sprintf("bad budget %q (0 < d ≤ 1m)", v), http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "bad budget %q (0 < d ≤ 1m)", v)
 			return
 		}
 	}
-	res, err := req.kdv.RenderProgressive(req.res, req.eps, budget, 0)
+	// Clamp the budget under the request deadline so the deadline shows up
+	// as a smaller partial result rather than a 503.
+	if rem := deadlineRemaining(r.Context(), 0); rem > 0 && budget > rem-rem/10 {
+		budget = rem - rem/10
+	}
+	res, err := req.kdv.RenderProgressiveInCtx(r.Context(), req.res, req.eps, budget, 0, req.window)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		requestError(w, r, err)
 		return
 	}
 	w.Header().Set("X-KDV-Evaluated", strconv.Itoa(res.Evaluated))
@@ -303,6 +453,6 @@ func writeDensityPNG(w http.ResponseWriter, dm *quad.DensityMap, logScale bool) 
 	}
 	w.Header().Set("Content-Type", "image/png")
 	if err := render.EncodePNG(w, render.Heatmap(v, scale)); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, "%v", err)
 	}
 }

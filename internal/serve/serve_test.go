@@ -149,10 +149,8 @@ func TestCacheReuse(t *testing.T) {
 			t.Fatalf("status %d", resp.StatusCode)
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.cache) != 1 {
-		t.Errorf("cache has %d entries, want 1", len(s.cache))
+	if got := s.cache.len(); got != 1 {
+		t.Errorf("cache has %d entries, want 1", got)
 	}
 }
 

@@ -22,6 +22,13 @@
 // RenderProgressiveStream) streams coarse-to-fine color maps under a
 // wall-clock budget (paper Section 6).
 //
+// Every long-running entry point has a context-aware form (RenderEpsCtx,
+// RenderTauCtx, RenderProgressiveCtx, EstimateCtx, ThresholdStatsCtx, …)
+// that polls cancellation between rows of pixel work and returns ctx.Err()
+// promptly — the primitive interactive servers need when users pan, zoom,
+// or abandon requests mid-render. The plain forms are thin wrappers over
+// context.Background().
+//
 // The same bound machinery also powers two kernel-method extensions from
 // the paper's future-work list: kernel density classification
 // (NewClassifier — per-class density bounds raced until one class provably

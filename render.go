@@ -1,6 +1,7 @@
 package quad
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -111,8 +112,10 @@ func (k *KDV) newGridIn(res Resolution, w Window) (*grid.Grid, error) {
 }
 
 // renderValues evaluates eval for every pixel of g, splitting rows across
-// the configured number of workers.
-func (k *KDV) renderValues(g *grid.Grid, eval func(q []float64, scratch *evalCtx) float64) ([]float64, error) {
+// the configured number of workers. Each worker polls ctx between rows, so
+// a cancelled context stops the render within one row of work per worker;
+// the first context error is returned after all workers have exited.
+func (k *KDV) renderValues(ctx context.Context, g *grid.Grid, eval func(q []float64, scratch *evalCtx) float64) ([]float64, error) {
 	vals := make([]float64, g.Res.Pixels())
 	workers := k.cfg.workers
 	if workers > g.Res.H {
@@ -130,22 +133,28 @@ func (k *KDV) renderValues(g *grid.Grid, eval func(q []float64, scratch *evalCtx
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ctx, err := k.newEvalCtx()
+			ec, err := k.newEvalCtx()
 			if err != nil {
 				errOnce.Do(func() { firstErr = err })
 				return
 			}
-			defer ctx.release(k)
+			defer ec.release(k)
 			q := make([]float64, 2)
 			for y := range rows {
+				if ctx.Err() != nil {
+					return
+				}
 				for x := 0; x < g.Res.W; x++ {
 					g.Query(x, y, q)
-					vals[g.Index(x, y)] = eval(q, ctx)
+					vals[g.Index(x, y)] = eval(q, ec)
 				}
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -178,13 +187,25 @@ func (c *evalCtx) release(k *KDV) {
 // RenderEps computes the full εKDV color map at the given resolution over
 // the dataset's bounding window.
 func (k *KDV) RenderEps(res Resolution, eps float64) (*DensityMap, error) {
-	return k.RenderEpsIn(res, eps, Window{})
+	return k.RenderEpsInCtx(context.Background(), res, eps, Window{})
+}
+
+// RenderEpsCtx is RenderEps under a context: cancellation (client
+// disconnect, deadline) stops the row workers within one row of work each
+// and returns ctx.Err().
+func (k *KDV) RenderEpsCtx(ctx context.Context, res Resolution, eps float64) (*DensityMap, error) {
+	return k.RenderEpsInCtx(ctx, res, eps, Window{})
 }
 
 // RenderEpsIn is RenderEps over an explicit data-space window — the
 // pan/zoom form for interactive exploration. A zero Window selects the
 // dataset's bounding box.
 func (k *KDV) RenderEpsIn(res Resolution, eps float64, win Window) (*DensityMap, error) {
+	return k.RenderEpsInCtx(context.Background(), res, eps, win)
+}
+
+// RenderEpsInCtx is RenderEpsIn under a context (see RenderEpsCtx).
+func (k *KDV) RenderEpsInCtx(ctx context.Context, res Resolution, eps float64, win Window) (*DensityMap, error) {
 	if eps < 0 {
 		return nil, fmt.Errorf("quad: negative relative error %g", eps)
 	}
@@ -204,12 +225,12 @@ func (k *KDV) RenderEpsIn(res Resolution, eps float64, win Window) (*DensityMap,
 			return bounds.ExactScan(k.sample, nil, kern, k.bw.Gamma, k.sampleWeight, q)
 		}
 	default:
-		eval = func(q []float64, ctx *evalCtx) float64 {
-			v, _ := ctx.eng.EvalEps(q, eps)
+		eval = func(q []float64, ec *evalCtx) float64 {
+			v, _ := ec.eng.EvalEps(q, eps)
 			return v
 		}
 	}
-	vals, err := k.renderValues(g, eval)
+	vals, err := k.renderValues(ctx, g, eval)
 	if err != nil {
 		return nil, err
 	}
@@ -223,19 +244,29 @@ func (k *KDV) RenderEpsIn(res Resolution, eps float64, win Window) (*DensityMap,
 
 // RenderTau computes the full τKDV two-color map at the given resolution.
 func (k *KDV) RenderTau(res Resolution, tau float64) (*HotspotMap, error) {
-	return k.RenderTauIn(res, tau, Window{})
+	return k.RenderTauInCtx(context.Background(), res, tau, Window{})
+}
+
+// RenderTauCtx is RenderTau under a context (see RenderEpsCtx).
+func (k *KDV) RenderTauCtx(ctx context.Context, res Resolution, tau float64) (*HotspotMap, error) {
+	return k.RenderTauInCtx(ctx, res, tau, Window{})
 }
 
 // RenderTauIn is RenderTau over an explicit data-space window (see
 // RenderEpsIn).
 func (k *KDV) RenderTauIn(res Resolution, tau float64, win Window) (*HotspotMap, error) {
+	return k.RenderTauInCtx(context.Background(), res, tau, win)
+}
+
+// RenderTauInCtx is RenderTauIn under a context (see RenderEpsCtx).
+func (k *KDV) RenderTauInCtx(ctx context.Context, res Resolution, tau float64, win Window) (*HotspotMap, error) {
 	g, err := k.newGridIn(res, win)
 	if err != nil {
 		return nil, err
 	}
 	kern := k.cfg.kern.internal()
 	hot := make([]bool, res.internal().Pixels())
-	eval := func(q []float64, ctx *evalCtx) float64 {
+	eval := func(q []float64, ec *evalCtx) float64 {
 		var h bool
 		switch k.cfg.method {
 		case MethodExact:
@@ -243,14 +274,14 @@ func (k *KDV) RenderTauIn(res Resolution, tau float64, win Window) (*HotspotMap,
 		case MethodZOrder:
 			h = bounds.ExactScan(k.sample, nil, kern, k.bw.Gamma, k.sampleWeight, q) >= tau
 		default:
-			h, _ = ctx.eng.EvalTau(q, tau)
+			h, _ = ec.eng.EvalTau(q, tau)
 		}
 		if h {
 			return 1
 		}
 		return 0
 	}
-	vals, err := k.renderValues(g, eval)
+	vals, err := k.renderValues(ctx, g, eval)
 	if err != nil {
 		return nil, err
 	}
@@ -271,6 +302,12 @@ func (k *KDV) RenderTauIn(res Resolution, tau float64, win Window) (*HotspotMap,
 // ladder (μ ± kσ) is built from. Values are εKDV estimates with the given
 // ε (use a small ε like 0.01).
 func (k *KDV) ThresholdStats(res Resolution, stride int, eps float64) (mu, sigma float64, err error) {
+	return k.ThresholdStatsCtx(context.Background(), res, stride, eps)
+}
+
+// ThresholdStatsCtx is ThresholdStats under a context: cancellation is
+// polled between sample rows and returns ctx.Err().
+func (k *KDV) ThresholdStatsCtx(ctx context.Context, res Resolution, stride int, eps float64) (mu, sigma float64, err error) {
 	if stride < 1 {
 		stride = 1
 	}
@@ -281,6 +318,9 @@ func (k *KDV) ThresholdStats(res Resolution, stride int, eps float64) (mu, sigma
 	var samples []float64
 	q := make([]float64, 2)
 	for y := 0; y < res.H; y += stride {
+		if err := ctx.Err(); err != nil {
+			return 0, 0, err
+		}
 		for x := 0; x < res.W; x += stride {
 			g.Query(x, y, q)
 			v, err := k.Estimate(q, eps)
@@ -313,10 +353,32 @@ type ProgressiveResult struct {
 // exists almost immediately. The run stops when budget elapses (≤ 0 means
 // run to completion) or maxPixels pixels were evaluated (≤ 0 means all).
 func (k *KDV) RenderProgressive(res Resolution, eps float64, budget time.Duration, maxPixels int) (*ProgressiveResult, error) {
+	return k.RenderProgressiveInCtx(context.Background(), res, eps, budget, maxPixels, Window{})
+}
+
+// RenderProgressiveCtx is RenderProgressive under a context: cancellation
+// is polled between evaluations and returns ctx.Err() promptly. Budget
+// expiry still yields the normal partial result with a nil error;
+// cancellation is the caller abandoning the render, so no result is
+// returned.
+func (k *KDV) RenderProgressiveCtx(ctx context.Context, res Resolution, eps float64, budget time.Duration, maxPixels int) (*ProgressiveResult, error) {
+	return k.RenderProgressiveInCtx(ctx, res, eps, budget, maxPixels, Window{})
+}
+
+// RenderProgressiveIn is RenderProgressive over an explicit data-space
+// window (see RenderEpsIn). A zero Window selects the dataset's bounding
+// box.
+func (k *KDV) RenderProgressiveIn(res Resolution, eps float64, budget time.Duration, maxPixels int, win Window) (*ProgressiveResult, error) {
+	return k.RenderProgressiveInCtx(context.Background(), res, eps, budget, maxPixels, win)
+}
+
+// RenderProgressiveInCtx is RenderProgressiveIn under a context (see
+// RenderProgressiveCtx).
+func (k *KDV) RenderProgressiveInCtx(ctx context.Context, res Resolution, eps float64, budget time.Duration, maxPixels int, win Window) (*ProgressiveResult, error) {
 	if eps < 0 {
 		return nil, fmt.Errorf("quad: negative relative error %g", eps)
 	}
-	g, err := k.newGrid(res)
+	g, err := k.newGridIn(res, win)
 	if err != nil {
 		return nil, err
 	}
@@ -324,11 +386,11 @@ func (k *KDV) RenderProgressive(res Resolution, eps float64, budget time.Duratio
 	if err != nil {
 		return nil, err
 	}
-	ctx, err := k.newEvalCtx()
+	ec, err := k.newEvalCtx()
 	if err != nil {
 		return nil, err
 	}
-	defer ctx.release(k)
+	defer ec.release(k)
 	kern := k.cfg.kern.internal()
 	q := make([]float64, 2)
 	eval := func(px, py int) float64 {
@@ -339,11 +401,14 @@ func (k *KDV) RenderProgressive(res Resolution, eps float64, budget time.Duratio
 		case MethodZOrder:
 			return bounds.ExactScan(k.sample, nil, kern, k.bw.Gamma, k.sampleWeight, q)
 		default:
-			v, _ := ctx.eng.EvalEps(q, eps)
+			v, _ := ec.eng.EvalEps(q, eps)
 			return v
 		}
 	}
-	r := progressive.Run(order, eval, budget, maxPixels)
+	r, ctxErr := progressive.RunCtx(ctx, order, eval, budget, maxPixels)
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
 	return &ProgressiveResult{
 		Map: &DensityMap{
 			Res:       res,
@@ -380,6 +445,13 @@ type Snapshot struct {
 // render — the "user terminates the process at any time" interaction of
 // paper Section 6. budget ≤ 0 means no time limit.
 func (k *KDV) RenderProgressiveStream(res Resolution, eps float64, budget time.Duration, emit func(Snapshot) bool) (*ProgressiveResult, error) {
+	return k.RenderProgressiveStreamCtx(context.Background(), res, eps, budget, emit)
+}
+
+// RenderProgressiveStreamCtx is RenderProgressiveStream under a context:
+// cancellation is polled between evaluations, stops the stream without a
+// final snapshot, and returns ctx.Err().
+func (k *KDV) RenderProgressiveStreamCtx(ctx context.Context, res Resolution, eps float64, budget time.Duration, emit func(Snapshot) bool) (*ProgressiveResult, error) {
 	if eps < 0 {
 		return nil, fmt.Errorf("quad: negative relative error %g", eps)
 	}
@@ -394,11 +466,11 @@ func (k *KDV) RenderProgressiveStream(res Resolution, eps float64, budget time.D
 	if err != nil {
 		return nil, err
 	}
-	ctx, err := k.newEvalCtx()
+	ec, err := k.newEvalCtx()
 	if err != nil {
 		return nil, err
 	}
-	defer ctx.release(k)
+	defer ec.release(k)
 	kern := k.cfg.kern.internal()
 	q := make([]float64, 2)
 	eval := func(px, py int) float64 {
@@ -409,7 +481,7 @@ func (k *KDV) RenderProgressiveStream(res Resolution, eps float64, budget time.D
 		case MethodZOrder:
 			return bounds.ExactScan(k.sample, nil, kern, k.bw.Gamma, k.sampleWeight, q)
 		default:
-			v, _ := ctx.eng.EvalEps(q, eps)
+			v, _ := ec.eng.EvalEps(q, eps)
 			return v
 		}
 	}
@@ -418,7 +490,7 @@ func (k *KDV) RenderProgressiveStream(res Resolution, eps float64, budget time.D
 		WindowMin: [2]float64{g.Window.Min[0], g.Window.Min[1]},
 		WindowMax: [2]float64{g.Window.Max[0], g.Window.Max[1]},
 	}
-	r := progressive.RunStream(order, eval, budget, 0, func(s progressive.Snapshot) bool {
+	r, ctxErr := progressive.RunStreamCtx(ctx, order, eval, budget, 0, func(s progressive.Snapshot) bool {
 		dm.Values = s.Values
 		return emit(Snapshot{
 			Map:       dm,
@@ -428,6 +500,9 @@ func (k *KDV) RenderProgressiveStream(res Resolution, eps float64, budget time.D
 			Final:     s.Final,
 		})
 	})
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
 	dm.Values = r.Values.Data
 	return &ProgressiveResult{
 		Map:       dm,
