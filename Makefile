@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify clean
+.PHONY: build test vet race verify bench clean
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,12 @@ verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# bench regenerates BENCH_PR2.json: the tile-shared traversal's speedup and
+# node-evaluation reduction over the per-pixel baseline (εKDV + τKDV,
+# crime analogue at 30k points, 256² and 512²).
+bench:
+	$(GO) run ./cmd/kdvbench -json BENCH_PR2.json -jsonn 30000
 
 clean:
 	$(GO) clean ./...

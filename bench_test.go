@@ -528,3 +528,43 @@ func BenchmarkAblationTangent(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkRender is the PR 2 acceptance benchmark: a full εKDV render
+// (Gaussian, QUAD bounds, ε=0.05, 512×512, crime analogue at 30k points)
+// with the tile-shared traversal (default tile size) against the per-pixel
+// baseline (WithTileSize(1)). BENCH_PR2.json records the measured speedup
+// and per-pixel node-evaluation reduction; regenerate it with `make bench`.
+func BenchmarkRender(b *testing.B) {
+	const (
+		renderN   = 30000
+		renderEps = 0.05
+	)
+	res := quad.Resolution{W: 512, H: 512}
+	coords, dim := getData(b, "crime", renderN)
+	for _, mode := range []struct {
+		name string
+		tile int
+	}{{"tile", 0}, {"perpixel", 1}} {
+		b.Run(mode.name, func(b *testing.B) {
+			k, err := quad.New(coords, dim,
+				quad.WithKernel(quad.Gaussian),
+				quad.WithMethod(quad.MethodQuadratic),
+				quad.WithTileSize(mode.tile))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var st quad.RenderStats
+			for i := 0; i < b.N; i++ {
+				dm, s, err := k.RenderEpsStats(res, renderEps)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dm.Release()
+				st = s
+			}
+			b.ReportMetric(st.NodesPerPixel(), "nodes/px")
+			b.ReportMetric(float64(st.SharedNodeEvals)/float64(st.Pixels), "shared/px")
+		})
+	}
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	quad "github.com/quadkdv/quad"
+	"github.com/quadkdv/quad/internal/dataset"
+)
+
+// jsonCell is one measured render configuration in the -json report.
+type jsonCell struct {
+	Variant        string  `json:"variant"` // "eps" or "tau"
+	Res            string  `json:"res"`
+	Mode           string  `json:"mode"` // "tile" or "perpixel"
+	ElapsedMS      float64 `json:"elapsed_ms"`
+	NsPerPixel     float64 `json:"ns_per_pixel"`
+	NodesPerPixel  float64 `json:"nodes_per_pixel"`
+	NodesEvaluated int     `json:"nodes_evaluated"`
+	SharedEvals    int     `json:"shared_node_evals"`
+	LeafScans      int     `json:"leaf_scans"`
+	Tiles          int     `json:"tiles"`
+	TilesDecided   int     `json:"tiles_decided"`
+}
+
+// jsonReport is the BENCH_PR2.json schema: the tile-shared traversal's
+// speedup and traversal-work reduction against the per-pixel baseline, for
+// both query variants at two resolutions.
+type jsonReport struct {
+	Dataset  string     `json:"dataset"`
+	N        int        `json:"n"`
+	Kernel   string     `json:"kernel"`
+	Method   string     `json:"method"`
+	Eps      float64    `json:"eps"`
+	TauSigma float64    `json:"tau_sigma"` // τ = μ + tau_sigma·σ
+	Workers  int        `json:"workers"`
+	TileSize int        `json:"tile_size"`
+	Cells    []jsonCell `json:"cells"`
+	// Speedups maps "variant/res" to elapsed(perpixel)/elapsed(tile);
+	// NodeReductions maps the same keys to the per-pixel node-evaluation
+	// ratio (per-pixel counters only — shared work is reported separately in
+	// the cells).
+	Speedups       map[string]float64 `json:"speedups"`
+	NodeReductions map[string]float64 `json:"node_reductions"`
+}
+
+// runJSONBench measures tile-shared vs per-pixel rendering and writes the
+// report to path. It is the artifact generator behind `make bench`.
+func runJSONBench(path string, seed int64, n int) error {
+	const eps = 0.05
+	const tauSigma = 1.0
+	pts, err := dataset.Generate("crime", n, seed)
+	if err != nil {
+		return err
+	}
+	pts = dataset.First2D(pts)
+
+	workers := runtime.GOMAXPROCS(0)
+	build := func(tile int) (*quad.KDV, error) {
+		return quad.New(pts.Coords, pts.Dim,
+			quad.WithKernel(quad.Gaussian),
+			quad.WithMethod(quad.MethodQuadratic),
+			quad.WithWorkers(workers),
+			quad.WithTileSize(tile))
+	}
+	tiled, err := build(0)
+	if err != nil {
+		return err
+	}
+	perPixel, err := build(1)
+	if err != nil {
+		return err
+	}
+
+	rep := jsonReport{
+		Dataset:        "crime",
+		N:              pts.Len(),
+		Kernel:         quad.Gaussian.String(),
+		Method:         quad.MethodQuadratic.String(),
+		Eps:            eps,
+		TauSigma:       tauSigma,
+		Workers:        workers,
+		TileSize:       16,
+		Speedups:       map[string]float64{},
+		NodeReductions: map[string]float64{},
+	}
+	for _, res := range []quad.Resolution{{W: 256, H: 256}, {W: 512, H: 512}} {
+		// τ from the map statistics, as the paper's thresholds are defined.
+		mu, sigma, err := tiled.ThresholdStats(res, 8, 0.05)
+		if err != nil {
+			return err
+		}
+		tau := mu + tauSigma*sigma
+		for _, variant := range []string{"eps", "tau"} {
+			var cells [2]jsonCell
+			for i, mode := range []struct {
+				name string
+				k    *quad.KDV
+			}{{"tile", tiled}, {"perpixel", perPixel}} {
+				var st quad.RenderStats
+				start := time.Now()
+				if variant == "eps" {
+					dm, s, err := mode.k.RenderEpsStats(res, eps)
+					if err != nil {
+						return err
+					}
+					dm.Release()
+					st = s
+				} else {
+					hm, s, err := mode.k.RenderTauStats(res, tau)
+					if err != nil {
+						return err
+					}
+					hm.Release()
+					st = s
+				}
+				elapsed := time.Since(start)
+				px := res.W * res.H
+				cells[i] = jsonCell{
+					Variant:        variant,
+					Res:            res.String(),
+					Mode:           mode.name,
+					ElapsedMS:      float64(elapsed.Microseconds()) / 1e3,
+					NsPerPixel:     float64(elapsed.Nanoseconds()) / float64(px),
+					NodesPerPixel:  st.NodesPerPixel(),
+					NodesEvaluated: st.NodesEvaluated,
+					SharedEvals:    st.SharedNodeEvals,
+					LeafScans:      st.LeafScans,
+					Tiles:          st.Tiles,
+					TilesDecided:   st.TilesDecided,
+				}
+				fmt.Printf("%-4s %-9s %-9s %10.1f ms  %8.1f ns/px  %7.2f nodes/px\n",
+					variant, res, mode.name, cells[i].ElapsedMS, cells[i].NsPerPixel, cells[i].NodesPerPixel)
+			}
+			key := fmt.Sprintf("%s/%s", variant, res)
+			if cells[0].ElapsedMS > 0 {
+				rep.Speedups[key] = cells[1].ElapsedMS / cells[0].ElapsedMS
+			}
+			if cells[0].NodesEvaluated > 0 {
+				rep.NodeReductions[key] = float64(cells[1].NodesEvaluated) / float64(cells[0].NodesEvaluated)
+			}
+			rep.Cells = append(rep.Cells, cells[:]...)
+		}
+	}
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

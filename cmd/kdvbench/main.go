@@ -28,17 +28,25 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		list    = flag.Bool("list", false, "list available experiments")
-		full    = flag.Bool("full", false, "paper-scale configuration (slow)")
-		outDir  = flag.String("out", "", "directory for PNG artifacts")
-		seed    = flag.Int64("seed", 20200614, "dataset generator seed")
-		timeout = flag.Duration("timeout", 0, "per-cell timeout (0 = config default)")
-		res     = flag.String("res", "", "override grid resolution, e.g. 320x240")
-		sizes   = flag.String("sizes", "", "override dataset sizes, e.g. crime=100000,hep=500000")
+		exp      = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list     = flag.Bool("list", false, "list available experiments")
+		full     = flag.Bool("full", false, "paper-scale configuration (slow)")
+		outDir   = flag.String("out", "", "directory for PNG artifacts")
+		seed     = flag.Int64("seed", 20200614, "dataset generator seed")
+		timeout  = flag.Duration("timeout", 0, "per-cell timeout (0 = config default)")
+		res      = flag.String("res", "", "override grid resolution, e.g. 320x240")
+		sizes    = flag.String("sizes", "", "override dataset sizes, e.g. crime=100000,hep=500000")
+		jsonPath = flag.String("json", "", "measure tile-shared vs per-pixel rendering and write a JSON report to this path")
+		jsonN    = flag.Int("jsonn", 100000, "dataset cardinality for the -json benchmark")
 	)
 	flag.Parse()
 
+	if *jsonPath != "" {
+		if err := runJSONBench(*jsonPath, *seed, *jsonN); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *list {
 		for _, e := range harness.Experiments() {
 			fmt.Printf("  %-10s %s\n", e.ID, e.Title)

@@ -197,6 +197,242 @@ func (e *Evaluator) Bounds(n *kdtree.Node, q []float64) (lb, ub float64) {
 	return e.clamp(n, lb, ub)
 }
 
+// RectBounds returns tile-uniform bounds on a node's contribution: for EVERY
+// query point q inside the query rectangle,
+//
+//	lb ≤ F_R(q) ≤ ub.
+//
+// The baseline is the min-max bounds (Equations 5–6) evaluated over the
+// rect-to-rect distance interval — valid for every kernel because each
+// profile is non-increasing in distance — honoring the evaluator's
+// ball-tightening setting. For the Gaussian kernel under an envelope method
+// (Linear or Quadratic) the bounds are then tightened with the KARL
+// chord/tangent envelopes: those aggregate through Σdist²(q) alone, and
+// Node.RectSumDist2 gives that statistic's exact range over the rectangle,
+// so the envelope evaluated at the adversarial end of the range is valid for
+// every q in the rect. (The O(d²) quadratic envelopes additionally need
+// Σdist⁴(q), whose rect-range is not available in closed form; the linear
+// tightening is the shared-phase analogue of the method hierarchy.)
+func (e *Evaluator) RectBounds(n *kdtree.Node, rect geom.Rect) (lb, ub float64) {
+	if n.SumW == 0 {
+		return 0, 0
+	}
+	mind2, maxd2 := n.RectDist2(rect, e.useBall)
+	xmin := e.Kern.X(e.Gamma, mind2)
+	xmax := e.Kern.X(e.Gamma, maxd2)
+	lb, ub = e.minMax(n, xmin, xmax)
+	if e.Method != MinMax && e.Kern.HasLinearBounds() {
+		llb, lub := e.rectLinearGaussian(n, rect, xmin, xmax)
+		if llb > lb {
+			lb = llb
+		}
+		if lub < ub {
+			ub = lub
+		}
+	}
+	return e.clamp(n, lb, ub)
+}
+
+// TileEnvelope is an aggregate envelope bound over a set of nodes for every
+// query point in a tile: a single quadratic form in the centered query
+// q' = q − center,
+//
+//	E(q) = A·‖q'‖² + B·q' + C.
+//
+// Because the Gaussian envelope bounds are linear in the node statistic
+// Σ w·dist²(q) — itself a quadratic in q — the per-node bounds of an entire
+// frontier collapse into one such form per side (see
+// Evaluator.AccumulateRectEnvelope). Evaluating it costs O(d) per pixel
+// regardless of how many nodes were accumulated, which is what removes the
+// per-pixel re-bounding of frontier nodes from the render hot path.
+type TileEnvelope struct {
+	A float64
+	B []float64
+	C float64
+}
+
+// Reset zeroes the form for dim-dimensional queries, reusing the coefficient
+// buffer.
+func (t *TileEnvelope) Reset(dim int) {
+	t.A, t.C = 0, 0
+	if cap(t.B) < dim {
+		t.B = make([]float64, dim)
+		return
+	}
+	t.B = t.B[:dim]
+	for i := range t.B {
+		t.B[i] = 0
+	}
+}
+
+// Eval evaluates the form at q with the given centering point.
+func (t *TileEnvelope) Eval(q, center []float64) float64 {
+	var qn2, dot float64
+	for i := range q {
+		qc := q[i] - center[i]
+		qn2 += qc * qc
+		dot += t.B[i] * qc
+	}
+	return t.A*qn2 + dot + t.C
+}
+
+// SupportsEnvelope reports whether the evaluator can share envelope bounds
+// tile-wide (AccumulateRectEnvelope / RectEnvelopeGap): an envelope method
+// with a kernel that has KARL linear envelopes.
+func (e *Evaluator) SupportsEnvelope() bool {
+	return e.Method != MinMax && e.Kern.HasLinearBounds()
+}
+
+// CopyFrom overwrites the form with src, reusing the coefficient buffer.
+func (t *TileEnvelope) CopyFrom(src *TileEnvelope) {
+	t.A, t.C = src.A, src.C
+	t.B = append(t.B[:0], src.B...)
+}
+
+// RangeRect returns the form's exact value range over an axis-aligned query
+// rectangle. The form is separable per dimension, so each coordinate's
+// quadratic A·u² + B_i·u is extremized independently (endpoints plus the
+// interior vertex when it falls inside the interval).
+func (t *TileEnvelope) RangeRect(rect geom.Rect, center []float64) (lo, hi float64) {
+	lo, hi = t.C, t.C
+	for i := range center {
+		u0 := rect.Min[i] - center[i]
+		u1 := rect.Max[i] - center[i]
+		g0 := t.A*u0*u0 + t.B[i]*u0
+		g1 := t.A*u1*u1 + t.B[i]*u1
+		glo, ghi := g0, g1
+		if g1 < g0 {
+			glo, ghi = g1, g0
+		}
+		if t.A != 0 {
+			if v := -t.B[i] / (2 * t.A); v > u0 && v < u1 {
+				gv := t.A*v*v + t.B[i]*v
+				if gv < glo {
+					glo = gv
+				}
+				if gv > ghi {
+					ghi = gv
+				}
+			}
+		}
+		lo += glo
+		hi += ghi
+	}
+	return lo, hi
+}
+
+// AccumulateRectEnvelope folds the node's tile-valid envelope bounds into the
+// aggregate quadratic forms: afterwards, for every q in rect,
+//
+//	lbEnv(q) ≤ F_R(q) ≤ ubEnv(q)    (contribution of this node included).
+//
+// The construction fits the KARL chord/tangent envelopes once per node over
+// the rect-wide x-interval (every x_i(q) stays inside it for q in the rect,
+// so the envelopes hold pointwise), then substitutes the EXACT per-query
+// statistic Σ w·dist²(q) = w·‖q'‖² − 2·q'·s' + c' (moments re-centered onto
+// `center`) instead of its rect-worst value. The result is first-order exact
+// in the query position — the residual gap is the envelope's curvature gap
+// over the x-interval, second order in the interval width — while remaining
+// a valid bound for every pixel of the tile.
+//
+// It returns false (accumulating nothing) when the evaluator has no linear
+// envelopes to share: the MinMax method, or a kernel without KARL bounds.
+// center must have the query dimension.
+func (e *Evaluator) AccumulateRectEnvelope(n *kdtree.Node, rect geom.Rect, center []float64, lbEnv, ubEnv *TileEnvelope) bool {
+	if !e.SupportsEnvelope() {
+		return false
+	}
+	if n.SumW == 0 {
+		return true
+	}
+	mind2, maxd2 := n.RectDist2(rect, e.useBall)
+	xmin := e.Kern.X(e.Gamma, mind2)
+	xmax := e.Kern.X(e.Gamma, maxd2)
+	s2lo, s2hi := n.RectSumDist2(rect)
+	up := kernel.ExpChordUpper(xmin, xmax)
+	// Tangent at the midpoint of the rect-range of the mean statistic: the
+	// tangent is a valid lower envelope anywhere, and the midpoint keeps it
+	// tight across the whole tile rather than at one extreme.
+	t := e.tangentPoint(e.Gamma*(s2lo+s2hi)/(2*n.SumW), xmin, xmax)
+	lo := kernel.ExpTangentLower(t)
+
+	// Re-center the node moments onto the tile's center T:
+	//   Σ w·(p−T)       = w·(C_n−T) + a_P
+	//   Σ w·‖p−T‖²      = b_P + 2·(C_n−T)·a_P + w·‖C_n−T‖²
+	var cc2, dotCS float64
+	for i := range center {
+		dc := n.Center[i] - center[i]
+		cc2 += dc * dc
+		dotCS += dc * n.SumP[i]
+	}
+	cPrime := n.SumNorm2 + 2*dotCS + n.SumW*cc2
+	gm := e.Gamma
+	w := e.Weight
+	for i := range center {
+		s := n.SumW*(n.Center[i]-center[i]) + n.SumP[i]
+		lbEnv.B[i] += w * lo.M * gm * (-2 * s)
+		ubEnv.B[i] += w * up.M * gm * (-2 * s)
+	}
+	lbEnv.A += w * lo.M * gm * n.SumW
+	lbEnv.C += w * (lo.M*gm*cPrime + lo.K*n.SumW)
+	ubEnv.A += w * up.M * gm * n.SumW
+	ubEnv.C += w * (up.M*gm*cPrime + up.K*n.SumW)
+	return true
+}
+
+// RectEnvelopeGap returns the maximum over q in the rect of the gap between
+// the chord upper and tangent lower envelope bounds that
+// AccumulateRectEnvelope would install for this node — the tile-wide
+// uncertainty that collapsing the node into the envelope adds to every pixel.
+// The gap is linear in the statistic Σ w·dist²(q), so its rect-maximum is
+// attained at an end of the statistic's exact rect-range. Second order in the
+// x-interval width, it is far smaller than the node's rect-uniform min-max
+// gap, which is what lets the shared phase settle most of the frontier into
+// the envelope within a fraction of the ε budget.
+func (e *Evaluator) RectEnvelopeGap(n *kdtree.Node, rect geom.Rect) (float64, bool) {
+	if !e.SupportsEnvelope() {
+		return 0, false
+	}
+	if n.SumW == 0 {
+		return 0, true
+	}
+	mind2, maxd2 := n.RectDist2(rect, e.useBall)
+	xmin := e.Kern.X(e.Gamma, mind2)
+	xmax := e.Kern.X(e.Gamma, maxd2)
+	s2lo, s2hi := n.RectSumDist2(rect)
+	up := kernel.ExpChordUpper(xmin, xmax)
+	t := e.tangentPoint(e.Gamma*(s2lo+s2hi)/(2*n.SumW), xmin, xmax)
+	lo := kernel.ExpTangentLower(t)
+	dM, dK := up.M-lo.M, up.K-lo.K
+	g := dM*e.Gamma*s2lo + dK*n.SumW
+	if g2 := dM*e.Gamma*s2hi + dK*n.SumW; g2 > g {
+		g = g2
+	}
+	if g < 0 {
+		g = 0
+	}
+	return e.Weight * g, true
+}
+
+// rectLinearGaussian evaluates the KARL envelopes tile-uniformly. Every
+// x_i(q) = γ·dist(q, p_i)² stays inside [xmin, xmax] for q in the rect, so
+// the chord/tangent envelopes hold pointwise; their aggregates are linear in
+// sumX(q) = γ·Σ w·dist²(q), whose exact rect-range [sxLo, sxHi] comes from
+// RectSumDist2. Both envelope slopes are ≤ 0 (the profile decreases), so the
+// upper bound is worst at sxLo and the lower bound at sxHi; the tangent sits
+// at the worst case's mean so the lower envelope is tight exactly where it
+// binds.
+func (e *Evaluator) rectLinearGaussian(n *kdtree.Node, rect geom.Rect, xmin, xmax float64) (lb, ub float64) {
+	s2lo, s2hi := n.RectSumDist2(rect)
+	sxLo, sxHi := e.Gamma*s2lo, e.Gamma*s2hi
+	up := kernel.ExpChordUpper(xmin, xmax)
+	ub = e.Weight * (math.Max(up.M*sxLo, up.M*sxHi) + up.K*n.SumW)
+	t := e.tangentPoint(sxHi/n.SumW, xmin, xmax)
+	lo := kernel.ExpTangentLower(t)
+	lb = e.Weight * (math.Min(lo.M*sxLo, lo.M*sxHi) + lo.K*n.SumW)
+	return lb, ub
+}
+
 // clamp floors lb at 0, caps ub at w·|P|·K(0), and repairs any floating-
 // point inversion (lb marginally above ub) by widening to the safe side.
 func (e *Evaluator) clamp(n *kdtree.Node, lb, ub float64) (float64, float64) {

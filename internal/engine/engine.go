@@ -41,10 +41,14 @@ func (s *Stats) Add(other Stats) {
 	s.PointsScanned += other.PointsScanned
 }
 
-// item is one queue entry: a node with its current bound contribution.
+// item is one queue entry: a node with its current bound contribution. seed
+// is the node's index in the tile frontier that seeded the queue (−1 for
+// items produced by ordinary expansion); refineFrom uses it to record which
+// frontier nodes a pixel had to expand, the signal behind frontier promotion.
 type item struct {
 	node   *kdtree.Node
 	lb, ub float64
+	seed   int
 }
 
 // Engine evaluates εKDV / τKDV queries against one tree with one bound
@@ -123,6 +127,29 @@ func (e *Engine) heapPop() item {
 }
 
 func gap(it item) float64 { return it.ub - it.lb }
+
+// heapify restores the max-gap heap property over the whole slice in O(n) —
+// used when a pixel's queue is bulk-seeded from a tile frontier.
+func (e *Engine) heapify() {
+	h := e.heap
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		for j := i; ; {
+			l, r := 2*j+1, 2*j+2
+			big := j
+			if l < len(h) && gap(h[l]) > gap(h[big]) {
+				big = l
+			}
+			if r < len(h) && gap(h[r]) > gap(h[big]) {
+				big = r
+			}
+			if big == j {
+				break
+			}
+			h[j], h[big] = h[big], h[j]
+			j = big
+		}
+	}
+}
 
 // EvalEps answers an εKDV query: a value within relative error ε of F_P(q).
 // With the stop rule ub ≤ (1+ε)·lb and result (lb+ub)/2, the error satisfies

@@ -1,0 +1,744 @@
+// Tile-shared traversal: the render hot path refines every pixel of a raster
+// against the same kd-tree, and neighboring pixels prune nearly identical
+// node sets — per-pixel refinement from the root repeats the top of that
+// work W×H times. The TileEngine amortizes it: one shared refinement per
+// pixel tile classifies nodes against the tile's query rectangle into
+//
+//   - settled nodes — their tile-uniform [lb, ub] contribution is added once
+//     for the whole tile (εKDV: within a budgeted fraction of the ε slack;
+//     τKDV: only exactly-known contributions, so hot masks stay identical to
+//     per-pixel refinement), and
+//   - a residual frontier — a disjoint node cover of the rest.
+//
+// Per pixel, the refinement queue is then seeded from the frontier's
+// tile-uniform bounds (zero bound evaluations — the bounds were computed once
+// per tile) instead of the root, and refinement proceeds with the configured
+// per-query bounds only where this pixel actually needs them. Frontier
+// promotion feeds each pixel's termination state back into the shared
+// frontier: nodes that successive pixels keep expanding are replaced
+// tile-wide by their children, so later pixels skip that expansion too.
+//
+// Correctness: RectBounds guarantees lb ≤ F_R(q) ≤ ub for every q in the
+// tile, so a pixel's aggregate [settled + seeded + refined] interval always
+// brackets F_P(q) and the usual termination tests keep their guarantees
+// (εKDV relative error; τKDV exact classification).
+package engine
+
+import (
+	"sort"
+
+	"github.com/quadkdv/quad/internal/bounds"
+	"github.com/quadkdv/quad/internal/geom"
+)
+
+const (
+	// DefaultMaxFrontier caps the residual frontier the shared phase
+	// produces. Larger frontiers push more traversal into the shared phase
+	// (good: amortized over the tile's pixels) but grow the per-pixel
+	// queue-seeding copy, which costs no bound evaluations but is O(cap).
+	DefaultMaxFrontier = 256
+	// promoteHits is how many pixels must expand a frontier node before it
+	// is promoted (replaced tile-wide by its children).
+	promoteHits = 2
+	// promoteCapFactor bounds frontier growth under promotion, as a
+	// multiple of the configured frontier cap.
+	promoteCapFactor = 3
+	// settleFrac is the fraction of the εKDV error slack the shared phase
+	// may spend on settled-node gaps. It must stay < 1 so per-pixel
+	// refinement can always reach ub ≤ (1+ε)·lb even after fully refining
+	// the frontier (the residual gap is then exactly the settled gap).
+	settleFrac = 0.5
+	// tileEpsFrac stops shared expansion once the tile-uniform bounds are
+	// already within this fraction of the ε budget — the whole tile is then
+	// answerable with (at most) queue-seeding work per pixel.
+	tileEpsFrac = 0.5
+	// expandBudgetFactor caps shared-phase pops at this multiple of the
+	// frontier cap, a guard against long leaf-pop runs.
+	expandBudgetFactor = 4
+	// subFrontierFactor scales the second (sub-tile) level's frontier cap
+	// relative to the parent frontier it starts from. Sub-tile rectangles
+	// are much smaller, so re-bounded parent seeds settle readily and the
+	// sub level may expand further — but expansion that cannot settle only
+	// grows the per-pixel seeding cost, so the room is proportional to the
+	// parent frontier rather than a fixed deep cap.
+	subFrontierFactor = 2
+	// subFrontierSlack is the additive part of the sub-level cap, so small
+	// parent frontiers still have room to reach settleable granularity.
+	subFrontierSlack = 64
+	// subExpandBudget caps the sub level's expansion pops. The sub level
+	// amortizes over only a sub-tile's worth of pixels, so unbounded
+	// expansion hoping for settles can cost more shared work than the pixels
+	// it serves would spend refining — dense datasets at coarse resolutions
+	// hit exactly that. ~12 pops per pixel of a default 4×4 sub-tile.
+	subExpandBudget = 192
+	// coarseSettleFrac is the share of the settle budget the OUTER level of a
+	// two-level build may spend. Settling at the coarse rectangle costs the
+	// budget at coarse-gap granularity, while the sub level settles the same
+	// mass against a much smaller rectangle (envelope gaps shrink with the
+	// square of the rect width) — so most of the budget is reserved for it.
+	coarseSettleFrac = 0.25
+)
+
+// Frontier is the reusable result of one shared tile refinement. It is
+// owned by a single worker (no internal locking) and is valid only for query
+// points inside the tile rectangle it was built for.
+type Frontier struct {
+	// Tile is the data-space rectangle spanning the tile's pixel centers.
+	Tile geom.Rect
+	// SettledLB/SettledUB are the summed tile-uniform bounds of settled
+	// nodes: every pixel of the tile adds them as a constant.
+	SettledLB, SettledUB float64
+	// Decided reports a tile-wide τKDV classification: every pixel of the
+	// tile is Hot (lb ≥ τ) or not (ub < τ) without per-pixel work.
+	Decided bool
+	Hot     bool
+
+	// SettledGap tracks the worst-case per-pixel uncertainty of all settled
+	// mass (constant settles plus envelope settles, across every level that
+	// fed this frontier) — the spent part of the εKDV settle budget.
+	SettledGap float64
+
+	seeds          []item // residual frontier with tile-uniform bounds
+	seedLB, seedUB float64
+	hits           []int // per-seed expansion counts since last promotion
+
+	// Collapsed envelope: when envOK, envLB/envUB aggregate per-node envelope
+	// bounds into one quadratic form each (centered on envCenter), evaluated
+	// in O(d) per pixel with zero node visits. Two usages share the machinery:
+	//
+	//   - εKDV (envSettled): the envelope IS settled mass — nodes whose
+	//     envelope gap fits the settle budget are folded in and leave the
+	//     frontier, and every pixel adds the envelope to its refinement base.
+	//   - τKDV (!envSettled): the envelope covers the whole residual frontier
+	//     as a pre-check — a pixel whose envelope bound already clears τ
+	//     one-sidedly skips refinement entirely.
+	envOK      bool
+	envSettled bool
+	envLB      bounds.TileEnvelope
+	envUB      bounds.TileEnvelope
+	envCenter  []float64
+}
+
+// envBounds evaluates the collapsed frontier envelope at q, including the
+// settled contribution. Valid only when envOK.
+func (f *Frontier) envBounds(q []float64) (lb, ub float64) {
+	lb = f.SettledLB + f.envLB.Eval(q, f.envCenter)
+	ub = f.SettledUB + f.envUB.Eval(q, f.envCenter)
+	if lb < 0 {
+		lb = 0
+	}
+	return lb, ub
+}
+
+// initEnv arms an empty settled envelope centered on the frontier's tile.
+func (f *Frontier) initEnv() {
+	d := len(f.Tile.Min)
+	if cap(f.envCenter) < d {
+		f.envCenter = make([]float64, d)
+	}
+	f.envCenter = f.envCenter[:d]
+	for i := 0; i < d; i++ {
+		f.envCenter[i] = (f.Tile.Min[i] + f.Tile.Max[i]) / 2
+	}
+	f.envLB.Reset(d)
+	f.envUB.Reset(d)
+	f.envOK, f.envSettled = true, true
+}
+
+// inheritEnv copies a parent frontier's settled envelope — valid here because
+// this frontier's tile lies inside the parent's. The parent's center is kept
+// (the forms are expressed about it).
+func (f *Frontier) inheritEnv(parent *Frontier) {
+	if !parent.envOK || !parent.envSettled {
+		return
+	}
+	f.envCenter = append(f.envCenter[:0], parent.envCenter...)
+	f.envLB.CopyFrom(&parent.envLB)
+	f.envUB.CopyFrom(&parent.envUB)
+	f.envOK, f.envSettled = true, true
+}
+
+// Size returns the residual frontier's node count.
+func (f *Frontier) Size() int { return len(f.seeds) }
+
+// Saturated reports that the shared phase pinned the frontier cap without
+// settling the tile: the tile rectangle is too coarse for this data density,
+// so the frontier is mostly shattered leaves with loose tile-uniform bounds.
+// Seeding every pixel from such a frontier costs more than refining from the
+// root — renderers should fall back to the per-pixel engine for the tile.
+func (te *TileEngine) Saturated(f *Frontier) bool {
+	return len(f.seeds) >= te.frontierCap()
+}
+
+// Settled returns the tile-wide settled contribution interval.
+func (f *Frontier) Settled() (lb, ub float64) { return f.SettledLB, f.SettledUB }
+
+func (f *Frontier) reset(tile geom.Rect) {
+	// Copy the rect: callers reuse their rect buffers across tiles, while
+	// the frontier (and Promote, which re-evaluates against Tile) may
+	// outlive that reuse.
+	f.Tile.Min = append(f.Tile.Min[:0], tile.Min...)
+	f.Tile.Max = append(f.Tile.Max[:0], tile.Max...)
+	f.SettledLB, f.SettledUB = 0, 0
+	f.SettledGap = 0
+	f.Decided, f.Hot = false, false
+	f.seeds = f.seeds[:0]
+	f.seedLB, f.seedUB = 0, 0
+	f.hits = f.hits[:0]
+	f.envOK, f.envSettled = false, false
+}
+
+// setSeeds installs the residual frontier, assigning seed indices and
+// recomputing the seeded bound sums.
+func (f *Frontier) setSeeds(items []item) {
+	f.seeds = append(f.seeds[:0], items...)
+	f.hits = f.hits[:0]
+	f.seedLB, f.seedUB = 0, 0
+	for i := range f.seeds {
+		f.seeds[i].seed = i
+		f.seedLB += f.seeds[i].lb
+		f.seedUB += f.seeds[i].ub
+		f.hits = append(f.hits, 0)
+	}
+}
+
+// TileEngine runs the shared (per-tile) phase of the tile-shared traversal
+// on top of a per-pixel Engine. Like the Engine it owns scratch state and
+// must not be shared between goroutines.
+type TileEngine struct {
+	*Engine
+	// MaxFrontier caps the residual frontier (0 means DefaultMaxFrontier).
+	MaxFrontier int
+
+	theap   []item    // shared-phase max-gap heap
+	scratch []item    // candidate staging for settle/promote passes
+	gapbuf  []float64 // per-candidate envelope gaps for the settle sort
+}
+
+// NewTileEngine wraps an engine for tile-shared rendering.
+func NewTileEngine(e *Engine) *TileEngine { return &TileEngine{Engine: e} }
+
+// subCap is the sub-level frontier cap for a parent frontier of n seeds.
+func subCap(n int) int { return subFrontierFactor*n + subFrontierSlack }
+
+func (te *TileEngine) frontierCap() int {
+	if te.MaxFrontier > 0 {
+		return te.MaxFrontier
+	}
+	return DefaultMaxFrontier
+}
+
+// sharedExpand runs the shared max-gap expansion against the tile rectangle
+// until stop() holds on the exact tile-uniform aggregate, the frontier cap
+// is reached, or the tree is exhausted. The expansion starts from seeds
+// (each re-bounded against this tile's rectangle) when given, else from the
+// root — the former is the second level of the two-level traversal, where a
+// coarse tile frontier is tightened against a sub-tile rectangle. It
+// returns the surviving candidate items (a disjoint node cover of the
+// un-settled dataset) in te.scratch and the exact candidate bound sums.
+// stop receives the tile-uniform aggregate bounds including base, the
+// already-settled contribution interval (valid for every pixel of the
+// tile).
+func (te *TileEngine) sharedExpand(tile geom.Rect, seeds []item, baseLB, baseUB float64, fcap, budget int, st *Stats, stop func(lb, ub float64) bool) (cands []item, sumLB, sumUB float64) {
+	te.theap = te.theap[:0]
+	var pendLB, pendUB float64
+	if seeds == nil {
+		root := te.Tree.Root
+		rlb, rub := te.Ev.RectBounds(root, tile)
+		st.NodesEvaluated++
+		te.heapPushTile(item{node: root, lb: rlb, ub: rub, seed: -1})
+		pendLB, pendUB = rlb, rub
+	} else {
+		for _, it := range seeds {
+			lb, ub := te.Ev.RectBounds(it.node, tile)
+			st.NodesEvaluated++
+			te.heapPushTile(item{node: it.node, lb: lb, ub: ub, seed: -1})
+			pendLB += lb
+			pendUB += ub
+		}
+	}
+	// Popped leaves can't expand; they go straight to the candidate list.
+	te.scratch = te.scratch[:0]
+	leafLB, leafUB := baseLB, baseUB
+
+	for pops := 0; len(te.theap) > 0 && len(te.theap)+len(te.scratch) < fcap && pops < budget; pops++ {
+		// The pending sums are maintained incrementally; before trusting a
+		// stop decision (or whenever accumulated float drift turns a sum
+		// negative) they are recomputed exactly, mirroring the per-pixel
+		// refinement loop.
+		if pendLB < 0 || pendUB < 0 || stop(leafLB+pendLB, leafUB+pendUB) {
+			pendLB, pendUB = te.tilePending()
+			if stop(leafLB+pendLB, leafUB+pendUB) {
+				break
+			}
+		}
+		it := te.heapPopTile()
+		n := it.node
+		if n.IsLeaf() {
+			te.scratch = append(te.scratch, it)
+			leafLB += it.lb
+			leafUB += it.ub
+			pendLB -= it.lb
+			pendUB -= it.ub
+			continue
+		}
+		llb, lub := te.Ev.RectBounds(n.Left, tile)
+		rlb, rub := te.Ev.RectBounds(n.Right, tile)
+		st.NodesEvaluated += 2
+		te.heapPushTile(item{node: n.Left, lb: llb, ub: lub, seed: -1})
+		te.heapPushTile(item{node: n.Right, lb: rlb, ub: rub, seed: -1})
+		pendLB += llb + rlb - it.lb
+		pendUB += lub + rub - it.ub
+	}
+	te.scratch = append(te.scratch, te.theap...)
+	pendLB, pendUB = te.tilePending()
+	sumLB, sumUB = leafLB+pendLB, leafUB+pendUB
+	// One final check so a decision reached exactly at the frontier cap
+	// (τKDV tiles in particular) is not lost.
+	stop(sumLB, sumUB)
+	return te.scratch, sumLB, sumUB
+}
+
+// BuildFrontierEps runs the shared phase for an εKDV tile: expand until the
+// tile-uniform bounds are within tileEpsFrac·ε or the frontier cap is hit,
+// then settle the smallest-gap nodes within the settleFrac·ε error budget —
+// into the collapsed envelope when the evaluator supports it (the envelope
+// gap is second order in the tile size, so nearly the whole frontier usually
+// fits the budget), else as tile-constant bounds.
+func (te *TileEngine) BuildFrontierEps(tile geom.Rect, eps float64, f *Frontier) Stats {
+	return te.buildEps(tile, nil, te.frontierCap(), eps, 1, f)
+}
+
+// BuildFrontierEpsCoarse is BuildFrontierEps for the OUTER level of a
+// two-level build: it spends only coarseSettleFrac of the settle budget,
+// reserving the rest for the sub level's far cheaper settles.
+func (te *TileEngine) BuildFrontierEpsCoarse(tile geom.Rect, eps float64, f *Frontier) Stats {
+	return te.buildEps(tile, nil, te.frontierCap(), eps, coarseSettleFrac, f)
+}
+
+// BuildFrontierEpsFrom is BuildFrontierEps seeded from a coarser frontier
+// instead of the root — the second level of the two-level traversal. tile
+// must lie inside parent's tile; parent's seeds are re-bounded against the
+// finer rectangle (much tighter — rect-to-rect distance intervals shrink
+// with the query rectangle) and its settled contribution carries over.
+func (te *TileEngine) BuildFrontierEpsFrom(parent *Frontier, tile geom.Rect, eps float64, f *Frontier) Stats {
+	if len(parent.seeds) == 0 {
+		// Fully settled parent: the sub-frontier is the same settled state
+		// (a nil seed slice must not fall back to root expansion — the
+		// settled mass would be counted twice).
+		f.reset(tile)
+		f.SettledLB, f.SettledUB = parent.SettledLB, parent.SettledUB
+		f.SettledGap = parent.SettledGap
+		f.inheritEnv(parent)
+		return Stats{}
+	}
+	return te.buildEps(tile, parent, subCap(len(parent.seeds)), eps, 1, f)
+}
+
+func (te *TileEngine) buildEps(tile geom.Rect, parent *Frontier, fcap int, eps, budgetFrac float64, f *Frontier) Stats {
+	var st Stats
+	f.reset(tile)
+	var seeds []item
+	var parentGap float64
+	if parent != nil {
+		seeds = parent.seeds
+		f.SettledLB, f.SettledUB = parent.SettledLB, parent.SettledUB
+		parentGap = parent.SettledGap
+		f.inheritEnv(parent)
+	}
+	if !f.envOK && te.Ev.SupportsEnvelope() {
+		f.initEnv()
+	}
+	// The expansion's stop test and settle budget see the settled envelope
+	// through its exact value range over this tile: the envelope is settled
+	// mass like the constant part, just query-dependent.
+	baseLB, baseUB := f.SettledLB, f.SettledUB
+	if f.envOK {
+		elo, _ := f.envLB.RangeRect(tile, f.envCenter)
+		_, uhi := f.envUB.RangeRect(tile, f.envCenter)
+		baseLB += elo
+		baseUB += uhi
+		if baseLB < 0 {
+			baseLB = 0
+		}
+	}
+	budgetPops := expandBudgetFactor * fcap
+	if parent != nil && budgetPops > subExpandBudget {
+		budgetPops = subExpandBudget
+	}
+	cands, sumLB, _ := te.sharedExpand(tile, seeds, baseLB, baseUB, fcap, budgetPops, &st, func(lb, ub float64) bool {
+		return ub <= (1+tileEpsFrac*eps)*lb
+	})
+	// Settle greedily by ascending gap while the cumulative settled gap
+	// (including what the parent level already settled) stays within the
+	// budget. sumLB lower-bounds every pixel's final lb (each candidate's
+	// tile lb ≤ F_R(q)), so a total settled gap ≤ settleFrac·ε·sumLB keeps
+	// ub ≤ (1+ε)·lb reachable for every pixel. With an envelope the per-node
+	// cost of settling is its envelope gap — second order in the tile size —
+	// instead of the loose rect-uniform gap, which is what empties most of
+	// the frontier.
+	budget := budgetFrac * settleFrac * eps * sumLB
+	spent := parentGap
+	rest := cands[:0]
+	if f.envOK {
+		gaps := te.gapbuf[:0]
+		for i := range cands {
+			g, _ := te.Ev.RectEnvelopeGap(cands[i].node, tile)
+			gaps = append(gaps, g)
+		}
+		te.gapbuf = gaps
+		st.NodesEvaluated += len(cands)
+		sortCandidatesByGap(cands, gaps)
+		for i := range cands {
+			if spent+gaps[i] <= budget {
+				spent += gaps[i]
+				te.Ev.AccumulateRectEnvelope(cands[i].node, tile, f.envCenter, &f.envLB, &f.envUB)
+				st.NodesEvaluated++
+				continue
+			}
+			rest = append(rest, cands[i])
+		}
+	} else {
+		sortCandidates(cands)
+		for _, it := range cands {
+			if g := gap(it); spent+g <= budget {
+				spent += g
+				f.SettledLB += it.lb
+				f.SettledUB += it.ub
+				continue
+			}
+			rest = append(rest, it)
+		}
+	}
+	f.SettledGap = spent
+	f.setSeeds(rest)
+	return st
+}
+
+// BuildFrontierTau runs the shared phase for a τKDV tile. When the tile's
+// uniform bounds already decide the classification (lb ≥ τ tile-wide, or
+// ub < τ tile-wide — strict, so densities exactly at τ stay hot exactly as
+// in per-pixel refinement), the frontier comes back Decided and pixels need
+// no work at all. Otherwise only zero-gap nodes settle, keeping every
+// pixel's classification bit-identical to per-pixel refinement.
+func (te *TileEngine) BuildFrontierTau(tile geom.Rect, tau float64, f *Frontier) Stats {
+	return te.buildTau(tile, nil, 0, 0, te.frontierCap(), tau, f)
+}
+
+// BuildFrontierTauFrom is BuildFrontierTau seeded from a coarser frontier
+// (see BuildFrontierEpsFrom). A sub-tile can come back Decided even when the
+// whole tile could not.
+func (te *TileEngine) BuildFrontierTauFrom(parent *Frontier, tile geom.Rect, tau float64, f *Frontier) Stats {
+	if len(parent.seeds) == 0 {
+		f.reset(tile)
+		f.SettledLB, f.SettledUB = parent.SettledLB, parent.SettledUB
+		f.Decided, f.Hot = parent.Decided, parent.Hot
+		return Stats{}
+	}
+	return te.buildTau(tile, parent.seeds, parent.SettledLB, parent.SettledUB, subCap(len(parent.seeds)), tau, f)
+}
+
+func (te *TileEngine) buildTau(tile geom.Rect, seeds []item, baseLB, baseUB float64, fcap int, tau float64, f *Frontier) Stats {
+	var st Stats
+	f.reset(tile)
+	f.SettledLB, f.SettledUB = baseLB, baseUB
+	budgetPops := expandBudgetFactor * fcap
+	if seeds != nil && budgetPops > subExpandBudget {
+		budgetPops = subExpandBudget
+	}
+	cands, _, _ := te.sharedExpand(tile, seeds, baseLB, baseUB, fcap, budgetPops, &st, func(lb, ub float64) bool {
+		if lb >= tau {
+			f.Decided, f.Hot = true, true
+			return true
+		}
+		if ub < tau {
+			f.Decided, f.Hot = true, false
+			return true
+		}
+		return false
+	})
+	if f.Decided {
+		return st
+	}
+	rest := cands[:0]
+	for _, it := range cands {
+		if gap(it) == 0 {
+			f.SettledLB += it.lb
+			f.SettledUB += it.ub
+			continue
+		}
+		rest = append(rest, it)
+	}
+	f.setSeeds(rest)
+	te.buildEnvelope(f, &st)
+	return st
+}
+
+// Promote replaces frontier nodes that promoteHits pixels had to expand with
+// their children (evaluated once against the tile rectangle), bounded by
+// promoteCapFactor·cap — the "reuse the previous pixel's termination state"
+// feedback that walks the shared frontier down to where pixels actually
+// stop. Call it between pixels of one tile.
+func (te *TileEngine) Promote(f *Frontier) Stats {
+	var st Stats
+	limit := promoteCapFactor * te.frontierCap()
+	if len(f.seeds) >= limit {
+		return st
+	}
+	promote := 0
+	for i, h := range f.hits {
+		if h >= promoteHits && !f.seeds[i].node.IsLeaf() {
+			promote++
+		}
+	}
+	if promote == 0 || len(f.seeds)+promote > limit {
+		return st
+	}
+	out := te.scratch[:0]
+	for i, it := range f.seeds {
+		if f.hits[i] >= promoteHits && !it.node.IsLeaf() {
+			n := it.node
+			llb, lub := te.Ev.RectBounds(n.Left, f.Tile)
+			rlb, rub := te.Ev.RectBounds(n.Right, f.Tile)
+			st.NodesEvaluated += 2
+			out = append(out,
+				item{node: n.Left, lb: llb, ub: lub},
+				item{node: n.Right, lb: rlb, ub: rub})
+			continue
+		}
+		out = append(out, it)
+	}
+	te.scratch = out
+	f.setSeeds(out)
+	if f.envOK && !f.envSettled {
+		// The τKDV pre-check envelope covers the seed set, which just
+		// changed; re-collapse it. (The εKDV settled envelope covers settled
+		// mass only — promotion does not touch it.)
+		te.buildEnvelope(f, &st)
+	}
+	return st
+}
+
+// buildEnvelope collapses the frontier's FULL seed set into the aggregate
+// envelope forms — the τKDV pre-check variant (!envSettled): the envelope
+// mirrors the residual frontier instead of replacing it, so EvalTauFrom can
+// try a one-sided O(d) classification before seeding the refinement heap.
+func (te *TileEngine) buildEnvelope(f *Frontier, st *Stats) {
+	f.envSettled = false
+	d := len(f.Tile.Min)
+	if cap(f.envCenter) < d {
+		f.envCenter = make([]float64, d)
+	}
+	f.envCenter = f.envCenter[:d]
+	for i := 0; i < d; i++ {
+		f.envCenter[i] = (f.Tile.Min[i] + f.Tile.Max[i]) / 2
+	}
+	f.envLB.Reset(d)
+	f.envUB.Reset(d)
+	for i := range f.seeds {
+		if !te.Ev.AccumulateRectEnvelope(f.seeds[i].node, f.Tile, f.envCenter, &f.envLB, &f.envUB) {
+			f.envOK = false
+			return
+		}
+		st.NodesEvaluated++
+	}
+	f.envOK = true
+}
+
+// sortCandidatesByGap orders cands (and the parallel gaps slice) by ascending
+// gap, tie-broken on the node's point range for determinism.
+func sortCandidatesByGap(cands []item, gaps []float64) {
+	sort.Sort(&candGapSorter{cands, gaps})
+}
+
+type candGapSorter struct {
+	items []item
+	gaps  []float64
+}
+
+func (s *candGapSorter) Len() int { return len(s.items) }
+func (s *candGapSorter) Less(i, j int) bool {
+	if s.gaps[i] != s.gaps[j] {
+		return s.gaps[i] < s.gaps[j]
+	}
+	return s.items[i].node.Start < s.items[j].node.Start
+}
+func (s *candGapSorter) Swap(i, j int) {
+	s.items[i], s.items[j] = s.items[j], s.items[i]
+	s.gaps[i], s.gaps[j] = s.gaps[j], s.gaps[i]
+}
+
+// sortCandidates orders items by ascending gap, tie-broken on the node's
+// point range so the settle split is fully deterministic.
+func sortCandidates(items []item) {
+	sort.Slice(items, func(i, j int) bool {
+		gi, gj := gap(items[i]), gap(items[j])
+		if gi != gj {
+			return gi < gj
+		}
+		return items[i].node.Start < items[j].node.Start
+	})
+}
+
+// --- shared-phase heap (same max-gap ordering as the per-pixel queue) ---
+
+func (te *TileEngine) heapPushTile(it item) {
+	te.theap = append(te.theap, it)
+	i := len(te.theap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if gap(te.theap[parent]) >= gap(te.theap[i]) {
+			break
+		}
+		te.theap[parent], te.theap[i] = te.theap[i], te.theap[parent]
+		i = parent
+	}
+}
+
+func (te *TileEngine) heapPopTile() item {
+	h := te.theap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	te.theap = h[:last]
+	h = te.theap
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(h) && gap(h[l]) > gap(h[big]) {
+			big = l
+		}
+		if r < len(h) && gap(h[r]) > gap(h[big]) {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+	return top
+}
+
+func (te *TileEngine) tilePending() (lb, ub float64) {
+	for _, it := range te.theap {
+		lb += it.lb
+		ub += it.ub
+	}
+	return lb, ub
+}
+
+// EvalEpsFrom answers an εKDV query for a pixel inside the frontier's tile,
+// warm-started from the shared frontier. The guarantee is the same as
+// EvalEps: the returned value is within relative error ε of F_P(q).
+func (e *Engine) EvalEpsFrom(f *Frontier, q []float64, eps float64) (float64, Stats) {
+	lb, ub, st := e.refineFrom(f, q, func(lb, ub float64) bool {
+		return ub <= (1+eps)*lb
+	})
+	return (lb + ub) / 2, st
+}
+
+// EvalTauFrom answers a τKDV query for a pixel inside the frontier's tile,
+// warm-started from the shared frontier. The classification is exactly the
+// per-pixel engine's: F_P(q) ≥ τ.
+func (e *Engine) EvalTauFrom(f *Frontier, q []float64, tau float64) (bool, Stats) {
+	if f.Decided {
+		return f.Hot, Stats{}
+	}
+	if f.envOK && !f.envSettled {
+		// Each envelope side is an independently valid bound, so a one-sided
+		// decision here is exactly the classification refinement would reach
+		// (strict ub < τ keeps densities at exactly τ hot, as everywhere).
+		lb, ub := f.envBounds(q)
+		if lb >= tau {
+			return true, Stats{Iterations: 1}
+		}
+		if ub < tau {
+			return false, Stats{Iterations: 1}
+		}
+	}
+	lb, _, st := e.refineFrom(f, q, func(lb, ub float64) bool {
+		return lb >= tau || ub <= tau
+	})
+	return lb >= tau, st
+}
+
+// refineFrom is the Table 3 refinement loop seeded from a tile frontier
+// instead of the root: the queue starts with the frontier's tile-uniform
+// bounds (no bound evaluations — they were computed once per tile) plus the
+// settled contribution as a constant base, and per-query bounds are spent
+// only on the nodes this pixel actually needs refined. Expansions of seed
+// items are recorded in the frontier's hit counters for Promote.
+func (e *Engine) refineFrom(f *Frontier, q []float64, done func(lb, ub float64) bool) (flb, fub float64, st Stats) {
+	e.heap = append(e.heap[:0], f.seeds...)
+	e.heapify()
+	baseLB, baseUB := f.SettledLB, f.SettledUB
+	if f.envOK && f.envSettled {
+		// The settled envelope is part of this pixel's base: one O(d)
+		// evaluation per side covers every node folded into it.
+		baseLB += f.envLB.Eval(q, f.envCenter)
+		baseUB += f.envUB.Eval(q, f.envCenter)
+		if baseLB < 0 {
+			baseLB = 0
+		}
+		if baseUB < baseLB {
+			mid := (baseLB + baseUB) / 2
+			baseLB, baseUB = mid, mid
+		}
+	}
+
+	var exactAcc float64
+	lbPend, ubPend := f.seedLB, f.seedUB
+	for len(e.heap) > 0 {
+		if lbPend < 0 || ubPend < 0 || done(baseLB+exactAcc+lbPend, baseUB+exactAcc+ubPend) {
+			lbPend, ubPend = e.recomputePending()
+			if done(baseLB+exactAcc+lbPend, baseUB+exactAcc+ubPend) {
+				break
+			}
+		}
+		st.Iterations++
+		it := e.heapPop()
+		n := it.node
+		if n.IsLeaf() {
+			if it.seed >= 0 {
+				// A leaf seed still carries its loose tile-uniform bounds.
+				// Tighten with this pixel's bounds before committing to an
+				// exact scan — the per-query bounds usually shrink the gap
+				// enough that the scan is never needed.
+				llb, lub := e.Ev.Bounds(n, q)
+				st.NodesEvaluated++
+				lbPend += llb - it.lb
+				ubPend += lub - it.ub
+				e.heapPush(item{node: n, lb: llb, ub: lub, seed: -1})
+				continue
+			}
+			exactAcc += e.Ev.ExactNode(e.Tree, n, q)
+			st.LeafScans++
+			st.PointsScanned += n.Size()
+			lbPend -= it.lb
+			ubPend -= it.ub
+			continue
+		}
+		if it.seed >= 0 {
+			f.hits[it.seed]++
+		}
+		llb, lub := e.Ev.Bounds(n.Left, q)
+		rlb, rub := e.Ev.Bounds(n.Right, q)
+		st.NodesEvaluated += 2
+		lbPend += llb + rlb - it.lb
+		ubPend += lub + rub - it.ub
+		e.heapPush(item{node: n.Left, lb: llb, ub: lub, seed: -1})
+		e.heapPush(item{node: n.Right, lb: rlb, ub: rub, seed: -1})
+	}
+	if len(e.heap) == 0 {
+		// Fully refined: only the settled tile-wide gap remains.
+		return baseLB + exactAcc, baseUB + exactAcc, st
+	}
+	lb, ub := baseLB+exactAcc+lbPend, baseUB+exactAcc+ubPend
+	if lb > ub {
+		mid := (lb + ub) / 2
+		lb, ub = mid, mid
+	}
+	return lb, ub, st
+}

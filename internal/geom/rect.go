@@ -104,6 +104,41 @@ func (r Rect) MaxDist2(q []float64) float64 {
 	return s
 }
 
+// MinDist2Rect returns the squared Euclidean distance between the closest
+// pair of points drawn from r and o (zero when the rectangles intersect).
+func (r Rect) MinDist2Rect(o Rect) float64 {
+	var s float64
+	for i := range r.Min {
+		switch {
+		case o.Max[i] < r.Min[i]:
+			d := r.Min[i] - o.Max[i]
+			s += d * d
+		case o.Min[i] > r.Max[i]:
+			d := o.Min[i] - r.Max[i]
+			s += d * d
+		}
+	}
+	return s
+}
+
+// MaxDist2Rect returns the squared Euclidean distance between the farthest
+// pair of points drawn from r and o. Per dimension the farthest pair is one
+// of the two opposite corner spans.
+func (r Rect) MaxDist2Rect(o Rect) float64 {
+	var s float64
+	for i := range r.Min {
+		d := r.Max[i] - o.Min[i]
+		if alt := o.Max[i] - r.Min[i]; alt > d {
+			d = alt
+		}
+		if d < 0 {
+			d = -d
+		}
+		s += d * d
+	}
+	return s
+}
+
 // MinDist returns the Euclidean distance from q to the rectangle.
 func (r Rect) MinDist(q []float64) float64 { return math.Sqrt(r.MinDist2(q)) }
 

@@ -1,0 +1,75 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randRect(rng *rand.Rand, dim int) Rect {
+	min := make([]float64, dim)
+	max := make([]float64, dim)
+	for i := range min {
+		a := rng.Float64()*20 - 10
+		b := a + rng.Float64()*5
+		min[i], max[i] = a, b
+	}
+	return Rect{Min: min, Max: max}
+}
+
+func randIn(rng *rand.Rand, r Rect) []float64 {
+	p := make([]float64, len(r.Min))
+	for i := range p {
+		p[i] = r.Min[i] + rng.Float64()*(r.Max[i]-r.Min[i])
+	}
+	return p
+}
+
+// TestRectRectDistBrackets checks the rect-to-rect distance interval against
+// sampled point pairs: for any p ∈ r and q ∈ o,
+// MinDist2Rect ≤ ‖p−q‖² ≤ MaxDist2Rect.
+func TestRectRectDistBrackets(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		dim := 2 + trial%3
+		r, o := randRect(rng, dim), randRect(rng, dim)
+		min2, max2 := r.MinDist2Rect(o), o.MaxDist2Rect(r)
+		if min2 > max2 {
+			t.Fatalf("trial %d: inverted interval [%g, %g]", trial, min2, max2)
+		}
+		if alt := o.MinDist2Rect(r); alt != min2 {
+			t.Fatalf("trial %d: MinDist2Rect not symmetric: %g vs %g", trial, min2, alt)
+		}
+		if alt := r.MaxDist2Rect(o); alt != max2 {
+			t.Fatalf("trial %d: MaxDist2Rect not symmetric: %g vs %g", trial, max2, alt)
+		}
+		for s := 0; s < 50; s++ {
+			p, q := randIn(rng, r), randIn(rng, o)
+			var d2 float64
+			for i := range p {
+				d := p[i] - q[i]
+				d2 += d * d
+			}
+			if d2 < min2-1e-9 || d2 > max2+1e-9 {
+				t.Fatalf("trial %d: dist² %g outside [%g, %g] for p=%v q=%v", trial, d2, min2, max2, p, q)
+			}
+		}
+	}
+}
+
+// TestRectRectDistDegenerate pins the closed-form cases: coincident rects
+// have min distance 0, and a point-rect (Min == Max) reduces to the
+// point-to-rect distance.
+func TestRectRectDistDegenerate(t *testing.T) {
+	r := Rect{Min: []float64{0, 0}, Max: []float64{2, 2}}
+	if d := r.MinDist2Rect(r); d != 0 {
+		t.Errorf("self MinDist2Rect = %g, want 0", d)
+	}
+	pt := []float64{5, 3}
+	p := Rect{Min: pt, Max: pt}
+	if got, want := r.MinDist2Rect(p), r.MinDist2(pt); got != want {
+		t.Errorf("point-rect MinDist2Rect = %g, MinDist2 = %g", got, want)
+	}
+	if got, want := r.MaxDist2Rect(p), r.MaxDist2(pt); got != want {
+		t.Errorf("point-rect MaxDist2Rect = %g, MaxDist2 = %g", got, want)
+	}
+}

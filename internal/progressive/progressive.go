@@ -10,6 +10,7 @@ package progressive
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/quadkdv/quad/internal/grid"
@@ -126,6 +127,41 @@ func BuildOrder(res grid.Resolution) (*Order, error) {
 		}
 	}
 	return o, nil
+}
+
+// GroupByTile stably reorders each refinement level's evaluations so pixels
+// falling in the same size×size tile are visited consecutively within the
+// level. Raster semantics are unchanged — regions within one level are
+// disjoint, so any level-internal order yields the same spatially complete
+// raster at every level boundary, and Levels stays monotone for the
+// streaming runner — but tile-warmed evaluators (the render layer's
+// progressive εKDV path) get to touch each tile's frontier in bursts
+// instead of thrashing across the raster.
+func (o *Order) GroupByTile(size int) {
+	if size < 2 || o.Len() < 2 {
+		return
+	}
+	tilesX := (o.Res.W + size - 1) / size
+	idx := make([]int, o.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	tile := func(i int) int { return (o.Py[i]/size)*tilesX + o.Px[i]/size }
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if o.Levels[ia] != o.Levels[ib] {
+			return o.Levels[ia] < o.Levels[ib]
+		}
+		return tile(ia) < tile(ib)
+	})
+	px := make([]int, len(idx))
+	py := make([]int, len(idx))
+	regs := make([]region, len(idx))
+	lvls := make([]int, len(idx))
+	for n, i := range idx {
+		px[n], py[n], regs[n], lvls[n] = o.Px[i], o.Py[i], o.Regions[i], o.Levels[i]
+	}
+	o.Px, o.Py, o.Regions, o.Levels = px, py, regs, lvls
 }
 
 // Result is the state of a progressive run.

@@ -158,6 +158,7 @@ type config struct {
 	ptWeights  []float64
 	ballBounds bool
 	bwRule     BandwidthRule
+	tileSize   int
 }
 
 // WithKernel selects the kernel function (default Gaussian).
@@ -191,6 +192,16 @@ func WithZOrderGuarantee(eps, delta float64) Option {
 // WithWindowMargin sets the fractional margin added around the dataset's
 // bounding box when deriving the render window (default 0.02).
 func WithWindowMargin(frac float64) Option { return func(c *config) { c.seedWindow = frac } }
+
+// WithTileSize sets the pixel tile edge used by the Render* calls (default
+// 16). Renders are evaluated tile by tile: one shared kd-tree refinement per
+// tile classifies index nodes once for all of the tile's pixels, and each
+// pixel's refinement then warm-starts from the small residual frontier
+// instead of the root. 1 disables sharing (the paper's pure per-pixel
+// refinement — useful as a baseline); 0 or negative selects the default.
+// Tile size changes work distribution only, never results: the εKDV and
+// τKDV guarantees hold for every setting.
+func WithTileSize(n int) Option { return func(c *config) { c.tileSize = n } }
 
 // BandwidthRule selects the automatic bandwidth selector used when
 // WithBandwidth is not given.
@@ -238,6 +249,7 @@ type KDV struct {
 	sample       geom.Points       // Z-order sample (MethodZOrder)
 	sampleWeight float64
 	engines      sync.Pool
+	tileScratch  sync.Pool // *renderScratch for tile render workers
 }
 
 // New builds a KDV instance over a flat row-major coordinate buffer of

@@ -6,6 +6,8 @@ import (
 
 	"github.com/quadkdv/quad/internal/bounds"
 	"github.com/quadkdv/quad/internal/engine"
+	"github.com/quadkdv/quad/internal/geom"
+	"github.com/quadkdv/quad/internal/grid"
 )
 
 // acquireEngine hands out a per-goroutine engine (engines hold scratch
@@ -21,6 +23,49 @@ func (k *KDV) acquireEngine() (*engine.Engine, error) {
 }
 
 func (k *KDV) releaseEngine(e *engine.Engine) { k.engines.Put(e) }
+
+// renderScratch is the pooled per-worker state of a tile render: the
+// worker's engine wrapped for tile-shared traversal, a reusable frontier,
+// and the query/rect buffers — everything the hot path would otherwise
+// allocate per tile.
+type renderScratch struct {
+	te               *engine.TileEngine
+	frontier         engine.Frontier // tile-level frontier
+	sub              engine.Frontier // sub-tile frontier (second level)
+	q                []float64
+	rectMin, rectMax [2]float64
+}
+
+// tileRect returns the data-space rectangle spanned by the tile's pixel
+// centers (the extreme query points of the tile), backed by the scratch's
+// own buffers.
+func (s *renderScratch) tileRect(g *grid.Grid, t tileSpan) geom.Rect {
+	r := geom.Rect{Min: s.rectMin[:], Max: s.rectMax[:]}
+	g.Query(t.x0, t.y0, r.Min)
+	g.Query(t.x1-1, t.y1-1, r.Max)
+	return r
+}
+
+// acquireRenderScratch hands out pooled tile-render scratch wired to a
+// pooled engine.
+func (k *KDV) acquireRenderScratch() (*renderScratch, error) {
+	eng, err := k.acquireEngine()
+	if err != nil {
+		return nil, err
+	}
+	s, _ := k.tileScratch.Get().(*renderScratch)
+	if s == nil {
+		s = &renderScratch{te: engine.NewTileEngine(nil), q: make([]float64, 2)}
+	}
+	s.te.Engine = eng
+	return s, nil
+}
+
+func (k *KDV) releaseRenderScratch(s *renderScratch) {
+	k.releaseEngine(s.te.Engine)
+	s.te.Engine = nil
+	k.tileScratch.Put(s)
+}
 
 func (k *KDV) checkQuery(q []float64) error {
 	if len(q) != k.pts.Dim {

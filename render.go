@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/quadkdv/quad/internal/bounds"
@@ -33,6 +34,17 @@ func (m *DensityMap) At(x, y int) float64 { return m.Values[y*m.Res.W+x] }
 // values — the statistics the paper's τ thresholds are expressed in.
 func (m *DensityMap) MuSigma() (mu, sigma float64) { return stats.MuSigma(m.Values) }
 
+// Release returns the map's value buffer to the shared render pool and
+// clears Values. Call it once the map is no longer needed (e.g. after
+// encoding a PNG) so subsequent renders at the same resolution reuse the
+// raster instead of re-allocating it; the map must not be used afterwards.
+func (m *DensityMap) Release() {
+	if m.Values != nil {
+		putVals(m.Values)
+		m.Values = nil
+	}
+}
+
 // SavePNG renders the map through the heat-color ramp and writes a PNG.
 // logScale applies a logarithmic color scale, which suits the heavy density
 // skew of typical KDV data.
@@ -57,8 +69,12 @@ type HotspotMap struct {
 // At reports whether pixel (x, y) is hot.
 func (m *HotspotMap) At(x, y int) bool { return m.Hot[y*m.Res.W+x] }
 
-// HotFraction returns the fraction of hot pixels.
+// HotFraction returns the fraction of hot pixels. An empty map has no hot
+// pixels, so its fraction is 0 (not NaN).
 func (m *HotspotMap) HotFraction() float64 {
+	if len(m.Hot) == 0 {
+		return 0
+	}
 	var n int
 	for _, h := range m.Hot {
 		if h {
@@ -66,6 +82,15 @@ func (m *HotspotMap) HotFraction() float64 {
 		}
 	}
 	return float64(n) / float64(len(m.Hot))
+}
+
+// Release returns the map's mask buffer to the shared render pool and
+// clears Hot; the map must not be used afterwards.
+func (m *HotspotMap) Release() {
+	if m.Hot != nil {
+		putHot(m.Hot)
+		m.Hot = nil
+	}
 }
 
 // SavePNG writes the two-color hotspot map as a PNG.
@@ -111,54 +136,509 @@ func (k *KDV) newGridIn(res Resolution, w Window) (*grid.Grid, error) {
 	return grid.New(res.internal(), geomRect(w))
 }
 
-// renderValues evaluates eval for every pixel of g, splitting rows across
-// the configured number of workers. Each worker polls ctx between rows, so
-// a cancelled context stops the render within one row of work per worker;
-// the first context error is returned after all workers have exited.
-func (k *KDV) renderValues(ctx context.Context, g *grid.Grid, eval func(q []float64, scratch *evalCtx) float64) ([]float64, error) {
-	vals := make([]float64, g.Res.Pixels())
+// defaultTileSize is the default pixel tile edge for tile-shared rendering
+// (see WithTileSize): 16×16 tiles amortize the shared kd-tree refinement
+// over 256 pixels while staying small enough that tile-uniform bounds are
+// tight.
+const defaultTileSize = 16
+
+// subTileSize is the second level of the tile-shared traversal: within a
+// tile, the shared frontier is tightened once per subTileSize×subTileSize
+// pixel block before pixels warm-start from it.
+const subTileSize = 4
+
+// tileSize returns the effective tile edge: the configured value, 1 for
+// "sharing disabled", or the default.
+func (k *KDV) tileSize() int {
+	switch {
+	case k.cfg.tileSize >= 2:
+		return k.cfg.tileSize
+	case k.cfg.tileSize == 1:
+		return 1
+	default:
+		return defaultTileSize
+	}
+}
+
+// tileSpan is one work unit of the render scheduler: the pixel block
+// [x0, x1) × [y0, y1).
+type tileSpan struct{ x0, y0, x1, y1 int }
+
+// tileSpans decomposes the raster into row-major size×size tiles (edge
+// tiles clipped).
+func tileSpans(res grid.Resolution, size int) []tileSpan {
+	if size < 1 {
+		size = 1
+	}
+	nx := (res.W + size - 1) / size
+	ny := (res.H + size - 1) / size
+	spans := make([]tileSpan, 0, nx*ny)
+	for ty := 0; ty < ny; ty++ {
+		y0 := ty * size
+		y1 := y0 + size
+		if y1 > res.H {
+			y1 = res.H
+		}
+		for tx := 0; tx < nx; tx++ {
+			x0 := tx * size
+			x1 := x0 + size
+			if x1 > res.W {
+				x1 = res.W
+			}
+			spans = append(spans, tileSpan{x0, y0, x1, y1})
+		}
+	}
+	return spans
+}
+
+// valsPool recycles full-raster float64 buffers across renders, so repeated
+// server renders at steady resolutions stop re-allocating W×H slices. Maps
+// built on pooled buffers return them through Release.
+var valsPool sync.Pool
+
+func getVals(n int) []float64 {
+	if p, ok := valsPool.Get().(*[]float64); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]float64, n)
+}
+
+func putVals(v []float64) {
+	if cap(v) == 0 {
+		return
+	}
+	v = v[:0]
+	valsPool.Put(&v)
+}
+
+// hotPool is valsPool's analogue for τKDV masks.
+var hotPool sync.Pool
+
+func getHot(n int) []bool {
+	if p, ok := hotPool.Get().(*[]bool); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]bool, n)
+}
+
+func putHot(h []bool) {
+	if cap(h) == 0 {
+		return
+	}
+	h = h[:0]
+	hotPool.Put(&h)
+}
+
+// RenderStats aggregates the work one render performed across all workers —
+// the observability behind the benchmarks' ns/pixel and nodes/pixel
+// trajectories.
+type RenderStats struct {
+	// Pixels is the number of pixels evaluated.
+	Pixels int
+	// Tiles is the number of pixel tiles scheduled; TilesDecided counts the
+	// τKDV tiles classified whole by the shared phase (zero per-pixel work).
+	Tiles, TilesDecided int
+	// SharedNodeEvals counts tile-uniform bound evaluations (shared phase
+	// and frontier promotions), amortized over each tile's pixels.
+	SharedNodeEvals int
+	// Iterations, NodesEvaluated, LeafScans and PointsScanned are the
+	// per-pixel refinement counters summed over every pixel (see
+	// engine.Stats).
+	Iterations, NodesEvaluated, LeafScans, PointsScanned int
+	// Elapsed is the render's wall-clock time (set by the *Stats render
+	// entry points).
+	Elapsed time.Duration
+}
+
+// NodesPerPixel returns bound evaluations per pixel, counting the shared
+// tile work against the pixels it was amortized over.
+func (s RenderStats) NodesPerPixel() float64 {
+	if s.Pixels == 0 {
+		return 0
+	}
+	return float64(s.NodesEvaluated+s.SharedNodeEvals) / float64(s.Pixels)
+}
+
+func (s *RenderStats) addPixel(st engine.Stats) {
+	s.Iterations += st.Iterations
+	s.NodesEvaluated += st.NodesEvaluated
+	s.LeafScans += st.LeafScans
+	s.PointsScanned += st.PointsScanned
+}
+
+func (s *RenderStats) addShared(st engine.Stats) { s.SharedNodeEvals += st.NodesEvaluated }
+
+func (s *RenderStats) merge(o RenderStats) {
+	s.Tiles += o.Tiles
+	s.TilesDecided += o.TilesDecided
+	s.SharedNodeEvals += o.SharedNodeEvals
+	s.Iterations += o.Iterations
+	s.NodesEvaluated += o.NodesEvaluated
+	s.LeafScans += o.LeafScans
+	s.PointsScanned += o.PointsScanned
+}
+
+// renderPass describes one full-raster evaluation: εKDV (density values) or
+// τKDV (0/1 hot values), with an optional stats sink.
+type renderPass struct {
+	eps   float64
+	tau   float64
+	isTau bool
+	stats *RenderStats
+}
+
+// renderValues evaluates every pixel of g into a pooled buffer. Workers
+// claim fixed-size pixel tiles from a shared cursor — a work-stealing queue,
+// so hotspot-heavy tiles don't stall the render the way static row ranges
+// did — and each tile is evaluated independently with the tile-shared
+// traversal (one shared kd-tree refinement per tile, per-pixel refinement
+// warm-started from the residual frontier). Tile results do not depend on
+// which worker computes them, so output is bit-identical for every worker
+// count. Each worker polls ctx between tiles; the first context error is
+// returned after all workers have exited.
+func (k *KDV) renderValues(ctx context.Context, g *grid.Grid, pass renderPass) ([]float64, error) {
+	vals := getVals(g.Res.Pixels())
+	size := k.tileSize()
+	sched := size
+	if sched < 2 {
+		// Sharing disabled: tiles remain the scheduling unit, just bigger
+		// to keep cursor contention negligible.
+		sched = 2 * defaultTileSize
+	}
+	spans := tileSpans(g.Res, sched)
 	workers := k.cfg.workers
-	if workers > g.Res.H {
-		workers = g.Res.H
+	if workers > len(spans) {
+		workers = len(spans)
 	}
-	var firstErr error
-	var errOnce sync.Once
-	var wg sync.WaitGroup
-	rows := make(chan int, g.Res.H)
-	for y := 0; y < g.Res.H; y++ {
-		rows <- y
-	}
-	close(rows)
+	var (
+		cursor   atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		statsMu  sync.Mutex
+	)
 	for wkr := 0; wkr < workers; wkr++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ec, err := k.newEvalCtx()
+			var local RenderStats
+			run, cleanup, err := k.newTileRunner(g, size, pass, &local)
 			if err != nil {
 				errOnce.Do(func() { firstErr = err })
 				return
 			}
-			defer ec.release(k)
-			q := make([]float64, 2)
-			for y := range rows {
+			defer func() {
+				cleanup()
+				if pass.stats != nil {
+					statsMu.Lock()
+					pass.stats.merge(local)
+					statsMu.Unlock()
+				}
+			}()
+			for {
 				if ctx.Err() != nil {
 					return
 				}
-				for x := 0; x < g.Res.W; x++ {
-					g.Query(x, y, q)
-					vals[g.Index(x, y)] = eval(q, ec)
+				i := int(cursor.Add(1)) - 1
+				if i >= len(spans) {
+					return
 				}
+				run(spans[i], vals)
 			}
 		}()
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
+		putVals(vals)
 		return nil, err
 	}
 	if firstErr != nil {
+		putVals(vals)
 		return nil, firstErr
 	}
+	if pass.stats != nil {
+		pass.stats.Pixels += g.Res.Pixels()
+	}
 	return vals, nil
+}
+
+// newTileRunner builds one worker's tile evaluator for the pass. The
+// returned run writes every pixel of its span into vals; cleanup returns the
+// worker's pooled scratch.
+func (k *KDV) newTileRunner(g *grid.Grid, size int, pass renderPass, local *RenderStats) (run func(tileSpan, []float64), cleanup func(), err error) {
+	kern := k.cfg.kern.internal()
+	switch k.cfg.method {
+	case MethodExact, MethodZOrder:
+		pts, ws, wt := k.pts, k.weights, k.bw.Weight
+		if k.cfg.method == MethodZOrder {
+			pts, ws, wt = k.sample, nil, k.sampleWeight
+		}
+		q := make([]float64, 2)
+		run = func(t tileSpan, vals []float64) {
+			for y := t.y0; y < t.y1; y++ {
+				for x := t.x0; x < t.x1; x++ {
+					g.Query(x, y, q)
+					v := bounds.ExactScan(pts, ws, kern, k.bw.Gamma, wt, q)
+					if pass.isTau {
+						if v >= pass.tau {
+							v = 1
+						} else {
+							v = 0
+						}
+					}
+					vals[g.Index(x, y)] = v
+				}
+			}
+		}
+		return run, func() {}, nil
+	}
+	s, err := k.acquireRenderScratch()
+	if err != nil {
+		return nil, nil, err
+	}
+	cleanup = func() { k.releaseRenderScratch(s) }
+	if size < 2 {
+		// Tile sharing disabled: the paper's per-pixel refinement from the
+		// root, kept as the WithTileSize(1) baseline.
+		run = func(t tileSpan, vals []float64) {
+			for y := t.y0; y < t.y1; y++ {
+				for x := t.x0; x < t.x1; x++ {
+					g.Query(x, y, s.q)
+					var v float64
+					var st engine.Stats
+					if pass.isTau {
+						var hot bool
+						hot, st = s.te.EvalTau(s.q, pass.tau)
+						if hot {
+							v = 1
+						}
+					} else {
+						v, st = s.te.EvalEps(s.q, pass.eps)
+					}
+					vals[g.Index(x, y)] = v
+					local.addPixel(st)
+				}
+			}
+		}
+		return run, cleanup, nil
+	}
+	// runPixels evaluates a pixel span against one frontier. Serpentine
+	// pixel order keeps successive queries adjacent, which is what makes the
+	// frontier-promotion coherence signal meaningful.
+	runPixels := func(t tileSpan, f *engine.Frontier, vals []float64) {
+		for y := t.y0; y < t.y1; y++ {
+			x0, x1, dx := t.x0, t.x1-1, 1
+			if (y-t.y0)%2 == 1 {
+				x0, x1, dx = t.x1-1, t.x0, -1
+			}
+			for x := x0; ; x += dx {
+				g.Query(x, y, s.q)
+				var v float64
+				var st engine.Stats
+				if pass.isTau {
+					var hot bool
+					hot, st = s.te.EvalTauFrom(f, s.q, pass.tau)
+					if hot {
+						v = 1
+					}
+				} else {
+					v, st = s.te.EvalEpsFrom(f, s.q, pass.eps)
+				}
+				vals[g.Index(x, y)] = v
+				local.addPixel(st)
+				local.addShared(s.te.Promote(f))
+				if x == x1 {
+					break
+				}
+			}
+		}
+	}
+	fill := func(t tileSpan, hot bool, vals []float64) {
+		var v float64
+		if hot {
+			v = 1
+		}
+		for y := t.y0; y < t.y1; y++ {
+			for x := t.x0; x < t.x1; x++ {
+				vals[g.Index(x, y)] = v
+			}
+		}
+	}
+	// rootPixels evaluates a pixel span with per-pixel root refinement — the
+	// fallback when a tile's shared frontier is measurably not worth seeding
+	// from.
+	rootPixels := func(t tileSpan, vals []float64) {
+		for y := t.y0; y < t.y1; y++ {
+			for x := t.x0; x < t.x1; x++ {
+				g.Query(x, y, s.q)
+				v, st := s.te.EvalEps(s.q, pass.eps)
+				vals[g.Index(x, y)] = v
+				local.addPixel(st)
+			}
+		}
+	}
+	run = func(t tileSpan, vals []float64) {
+		rect := s.tileRect(g, t)
+		local.Tiles++
+		if pass.isTau {
+			local.addShared(s.te.BuildFrontierTau(rect, pass.tau, &s.frontier))
+			if s.frontier.Decided {
+				local.TilesDecided++
+				fill(t, s.frontier.Hot, vals)
+				return
+			}
+		} else if size <= subTileSize {
+			local.addShared(s.te.BuildFrontierEps(rect, pass.eps, &s.frontier))
+		} else {
+			outSt := s.te.BuildFrontierEpsCoarse(rect, pass.eps, &s.frontier)
+			local.addShared(outSt)
+			// Adaptive probe: build the first sub-frontier and evaluate the
+			// tile's first pixel both warm-started and from the root. Dense
+			// data under coarse pixels can leave frontiers that cost more to
+			// seed from than root refinement saves; the probe measures the
+			// actual per-pixel costs and the projected shared overhead, and
+			// picks the cheaper strategy for the whole tile. The decision
+			// depends only on deterministic per-tile state, so renders stay
+			// bit-identical across worker counts.
+			fx1, fy1 := t.x0+subTileSize, t.y0+subTileSize
+			if fx1 > t.x1 {
+				fx1 = t.x1
+			}
+			if fy1 > t.y1 {
+				fy1 = t.y1
+			}
+			first := tileSpan{t.x0, t.y0, fx1, fy1}
+			srect := s.tileRect(g, first)
+			subSt := s.te.BuildFrontierEpsFrom(&s.frontier, srect, pass.eps, &s.sub)
+			local.addShared(subSt)
+			g.Query(t.x0, t.y0, s.q)
+			_, warmSt := s.te.EvalEpsFrom(&s.sub, s.q, pass.eps)
+			_, rootSt := s.te.EvalEps(s.q, pass.eps)
+			local.addShared(rootSt) // probe overhead, not pixel work
+			px := (t.x1 - t.x0) * (t.y1 - t.y0)
+			nsub := ((t.x1 - t.x0 + subTileSize - 1) / subTileSize) *
+				((t.y1 - t.y0 + subTileSize - 1) / subTileSize)
+			overhead := (outSt.NodesEvaluated + nsub*subSt.NodesEvaluated) / px
+			if warmSt.NodesEvaluated+overhead > rootSt.NodesEvaluated {
+				rootPixels(t, vals)
+				return
+			}
+			runPixels(first, &s.sub, vals)
+			for sy := t.y0; sy < t.y1; sy += subTileSize {
+				sy1 := sy + subTileSize
+				if sy1 > t.y1 {
+					sy1 = t.y1
+				}
+				for sx := t.x0; sx < t.x1; sx += subTileSize {
+					if sx == t.x0 && sy == t.y0 {
+						continue
+					}
+					sx1 := sx + subTileSize
+					if sx1 > t.x1 {
+						sx1 = t.x1
+					}
+					sub := tileSpan{sx, sy, sx1, sy1}
+					srect := s.tileRect(g, sub)
+					local.addShared(s.te.BuildFrontierEpsFrom(&s.frontier, srect, pass.eps, &s.sub))
+					runPixels(sub, &s.sub, vals)
+				}
+			}
+			return
+		}
+		if size <= subTileSize {
+			runPixels(t, &s.frontier, vals)
+			return
+		}
+		// Second level (τKDV): tighten the tile frontier against each
+		// sub-tile's much smaller rectangle (rect-to-rect bounds shrink with
+		// the query rect), amortized over the sub-tile's pixels, and
+		// warm-start pixels from the sub-frontier.
+		for sy := t.y0; sy < t.y1; sy += subTileSize {
+			sy1 := sy + subTileSize
+			if sy1 > t.y1 {
+				sy1 = t.y1
+			}
+			for sx := t.x0; sx < t.x1; sx += subTileSize {
+				sx1 := sx + subTileSize
+				if sx1 > t.x1 {
+					sx1 = t.x1
+				}
+				sub := tileSpan{sx, sy, sx1, sy1}
+				srect := s.tileRect(g, sub)
+				local.addShared(s.te.BuildFrontierTauFrom(&s.frontier, srect, pass.tau, &s.sub))
+				if s.sub.Decided {
+					local.TilesDecided++
+					fill(sub, s.sub.Hot, vals)
+					continue
+				}
+				runPixels(sub, &s.sub, vals)
+			}
+		}
+	}
+	return run, cleanup, nil
+}
+
+// progWarm warm-starts progressive εKDV evaluation with tile frontiers: the
+// first pixel landing in a tile refines from the root (coarse levels touch
+// each tile at most once, where building a frontier would cost more than it
+// saves), the second touch builds the tile's shared frontier, and every
+// later pixel in that tile seeds from it. Paired with Order.GroupByTile so
+// deep levels visit each tile's pixels in bursts.
+type progWarm struct {
+	te               *engine.TileEngine
+	g                *grid.Grid
+	size, tilesX     int
+	eps              float64
+	touched          []bool
+	fronts           []*engine.Frontier
+	rectMin, rectMax [2]float64
+}
+
+func (k *KDV) newProgWarm(g *grid.Grid, eng *engine.Engine, eps float64) *progWarm {
+	size := k.tileSize()
+	if eng == nil || size < 2 {
+		return nil
+	}
+	tilesX := (g.Res.W + size - 1) / size
+	tilesY := (g.Res.H + size - 1) / size
+	return &progWarm{
+		te:      engine.NewTileEngine(eng),
+		g:       g,
+		size:    size,
+		tilesX:  tilesX,
+		eps:     eps,
+		touched: make([]bool, tilesX*tilesY),
+		fronts:  make([]*engine.Frontier, tilesX*tilesY),
+	}
+}
+
+func (w *progWarm) eval(px, py int, q []float64) float64 {
+	ti := (py/w.size)*w.tilesX + px/w.size
+	if f := w.fronts[ti]; f != nil {
+		v, _ := w.te.EvalEpsFrom(f, q, w.eps)
+		return v
+	}
+	if !w.touched[ti] {
+		w.touched[ti] = true
+		v, _ := w.te.EvalEps(q, w.eps)
+		return v
+	}
+	x0, y0 := (px/w.size)*w.size, (py/w.size)*w.size
+	x1, y1 := x0+w.size, y0+w.size
+	if x1 > w.g.Res.W {
+		x1 = w.g.Res.W
+	}
+	if y1 > w.g.Res.H {
+		y1 = w.g.Res.H
+	}
+	rect := geom.Rect{Min: w.rectMin[:], Max: w.rectMax[:]}
+	w.g.Query(x0, y0, rect.Min)
+	w.g.Query(x1-1, y1-1, rect.Max)
+	f := new(engine.Frontier)
+	w.te.BuildFrontierEps(rect, w.eps, f)
+	w.fronts[ti] = f
+	v, _ := w.te.EvalEpsFrom(f, q, w.eps)
+	return v
 }
 
 // evalCtx carries the per-worker evaluation state: the worker's private
@@ -206,6 +686,20 @@ func (k *KDV) RenderEpsIn(res Resolution, eps float64, win Window) (*DensityMap,
 
 // RenderEpsInCtx is RenderEpsIn under a context (see RenderEpsCtx).
 func (k *KDV) RenderEpsInCtx(ctx context.Context, res Resolution, eps float64, win Window) (*DensityMap, error) {
+	return k.renderEpsIn(ctx, res, eps, win, nil)
+}
+
+// RenderEpsStats is RenderEps additionally reporting the render's work
+// counters — the observability hook behind the repo's benchmarks.
+func (k *KDV) RenderEpsStats(res Resolution, eps float64) (*DensityMap, RenderStats, error) {
+	var st RenderStats
+	start := time.Now()
+	dm, err := k.renderEpsIn(context.Background(), res, eps, Window{}, &st)
+	st.Elapsed = time.Since(start)
+	return dm, st, err
+}
+
+func (k *KDV) renderEpsIn(ctx context.Context, res Resolution, eps float64, win Window, st *RenderStats) (*DensityMap, error) {
 	if eps < 0 {
 		return nil, fmt.Errorf("quad: negative relative error %g", eps)
 	}
@@ -213,24 +707,7 @@ func (k *KDV) RenderEpsInCtx(ctx context.Context, res Resolution, eps float64, w
 	if err != nil {
 		return nil, err
 	}
-	kern := k.cfg.kern.internal()
-	var eval func(q []float64, ctx *evalCtx) float64
-	switch k.cfg.method {
-	case MethodExact:
-		eval = func(q []float64, _ *evalCtx) float64 {
-			return bounds.ExactScan(k.pts, k.weights, kern, k.bw.Gamma, k.bw.Weight, q)
-		}
-	case MethodZOrder:
-		eval = func(q []float64, _ *evalCtx) float64 {
-			return bounds.ExactScan(k.sample, nil, kern, k.bw.Gamma, k.sampleWeight, q)
-		}
-	default:
-		eval = func(q []float64, ec *evalCtx) float64 {
-			v, _ := ec.eng.EvalEps(q, eps)
-			return v
-		}
-	}
-	vals, err := k.renderValues(ctx, g, eval)
+	vals, err := k.renderValues(ctx, g, renderPass{eps: eps, stats: st})
 	if err != nil {
 		return nil, err
 	}
@@ -260,34 +737,33 @@ func (k *KDV) RenderTauIn(res Resolution, tau float64, win Window) (*HotspotMap,
 
 // RenderTauInCtx is RenderTauIn under a context (see RenderEpsCtx).
 func (k *KDV) RenderTauInCtx(ctx context.Context, res Resolution, tau float64, win Window) (*HotspotMap, error) {
+	return k.renderTauIn(ctx, res, tau, win, nil)
+}
+
+// RenderTauStats is RenderTau additionally reporting the render's work
+// counters (see RenderEpsStats).
+func (k *KDV) RenderTauStats(res Resolution, tau float64) (*HotspotMap, RenderStats, error) {
+	var st RenderStats
+	start := time.Now()
+	hm, err := k.renderTauIn(context.Background(), res, tau, Window{}, &st)
+	st.Elapsed = time.Since(start)
+	return hm, st, err
+}
+
+func (k *KDV) renderTauIn(ctx context.Context, res Resolution, tau float64, win Window, st *RenderStats) (*HotspotMap, error) {
 	g, err := k.newGridIn(res, win)
 	if err != nil {
 		return nil, err
 	}
-	kern := k.cfg.kern.internal()
-	hot := make([]bool, res.internal().Pixels())
-	eval := func(q []float64, ec *evalCtx) float64 {
-		var h bool
-		switch k.cfg.method {
-		case MethodExact:
-			h = bounds.ExactScan(k.pts, k.weights, kern, k.bw.Gamma, k.bw.Weight, q) >= tau
-		case MethodZOrder:
-			h = bounds.ExactScan(k.sample, nil, kern, k.bw.Gamma, k.sampleWeight, q) >= tau
-		default:
-			h, _ = ec.eng.EvalTau(q, tau)
-		}
-		if h {
-			return 1
-		}
-		return 0
-	}
-	vals, err := k.renderValues(ctx, g, eval)
+	vals, err := k.renderValues(ctx, g, renderPass{tau: tau, isTau: true, stats: st})
 	if err != nil {
 		return nil, err
 	}
+	hot := getHot(len(vals))
 	for i, v := range vals {
 		hot[i] = v != 0
 	}
+	putVals(vals)
 	return &HotspotMap{
 		Res:       res,
 		Tau:       tau,
@@ -391,6 +867,10 @@ func (k *KDV) RenderProgressiveInCtx(ctx context.Context, res Resolution, eps fl
 		return nil, err
 	}
 	defer ec.release(k)
+	warm := k.newProgWarm(g, ec.eng, eps)
+	if warm != nil {
+		order.GroupByTile(warm.size)
+	}
 	kern := k.cfg.kern.internal()
 	q := make([]float64, 2)
 	eval := func(px, py int) float64 {
@@ -401,6 +881,9 @@ func (k *KDV) RenderProgressiveInCtx(ctx context.Context, res Resolution, eps fl
 		case MethodZOrder:
 			return bounds.ExactScan(k.sample, nil, kern, k.bw.Gamma, k.sampleWeight, q)
 		default:
+			if warm != nil {
+				return warm.eval(px, py, q)
+			}
 			v, _ := ec.eng.EvalEps(q, eps)
 			return v
 		}
@@ -471,6 +954,10 @@ func (k *KDV) RenderProgressiveStreamCtx(ctx context.Context, res Resolution, ep
 		return nil, err
 	}
 	defer ec.release(k)
+	warm := k.newProgWarm(g, ec.eng, eps)
+	if warm != nil {
+		order.GroupByTile(warm.size)
+	}
 	kern := k.cfg.kern.internal()
 	q := make([]float64, 2)
 	eval := func(px, py int) float64 {
@@ -481,6 +968,9 @@ func (k *KDV) RenderProgressiveStreamCtx(ctx context.Context, res Resolution, ep
 		case MethodZOrder:
 			return bounds.ExactScan(k.sample, nil, kern, k.bw.Gamma, k.sampleWeight, q)
 		default:
+			if warm != nil {
+				return warm.eval(px, py, q)
+			}
 			v, _ := ec.eng.EvalEps(q, eps)
 			return v
 		}

@@ -1,0 +1,248 @@
+package quad
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// uniformCloud builds an unclustered dataset — the adversarial case for
+// tile sharing, where no node settles early.
+func uniformCloud(rng *rand.Rand, n int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64() * 10, rng.Float64() * 10}
+	}
+	return pts
+}
+
+// TestRenderEpsTileGuarantee is the εKDV property test: every pixel of a
+// tile-shared render must be within relative error ε of the exact density,
+// on clustered and uniform data and across tile sizes (including 1, the
+// per-pixel baseline).
+func TestRenderEpsTileGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	res := Resolution{W: 48, H: 36}
+	const eps = 0.05
+	for name, cloud := range map[string][][]float64{
+		"clustered": testCloud(rng, 800),
+		"uniform":   uniformCloud(rng, 800),
+	} {
+		exactK, err := NewFromPoints(cloud, WithMethod(MethodExact))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := exactK.RenderEps(res, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tile := range []int{0, 1, 4, 16, 64} {
+			k, err := NewFromPoints(cloud, WithTileSize(tile), WithWorkers(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := k.RenderEps(res, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range got.Values {
+				f := want.Values[i]
+				if diff := v - f; diff > eps*f || -diff > eps*f {
+					t.Fatalf("%s tile=%d pixel %d: got %g, exact %g, rel err %g beyond eps %g",
+						name, tile, i, v, f, (v-f)/f, eps)
+				}
+			}
+		}
+	}
+}
+
+// TestRenderTauTileMaskIdentity checks that tile-shared τKDV masks are
+// identical to per-pixel refinement and to exact classification, across τ
+// regimes that exercise decided-hot, decided-cold and mixed tiles.
+func TestRenderTauTileMaskIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	cloud := testCloud(rng, 800)
+	res := Resolution{W: 48, H: 36}
+
+	exactK, err := NewFromPoints(cloud, WithMethod(MethodExact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := exactK.RenderEps(res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, sigma := dm.MuSigma()
+
+	perPixel, err := NewFromPoints(cloud, WithTileSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiled, err := NewFromPoints(cloud, WithTileSize(16), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tau := range []float64{mu - sigma, mu, mu + sigma, mu + 2*sigma} {
+		if tau <= 0 {
+			continue
+		}
+		want, err := perPixel.RenderTau(res, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tiled.RenderTau(res, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got.Hot {
+			if got.Hot[i] != want.Hot[i] {
+				t.Fatalf("tau=%g pixel %d: tile-shared %v, per-pixel %v (exact density %g)",
+					tau, i, got.Hot[i], want.Hot[i], dm.Values[i])
+			}
+			if exact := dm.Values[i] >= tau; got.Hot[i] != exact {
+				t.Fatalf("tau=%g pixel %d: tile-shared %v, exact classification %v", tau, i, got.Hot[i], exact)
+			}
+		}
+	}
+}
+
+// TestRenderWorkerDeterminism: the work-stealing scheduler only moves tiles
+// between workers, so the rendered output must be bit-identical for every
+// worker count.
+func TestRenderWorkerDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	cloud := testCloud(rng, 600)
+	res := Resolution{W: 40, H: 30}
+
+	var refEps []float64
+	var refTau []bool
+	for _, workers := range []int{1, 2, 3, 8, 32} {
+		k, err := NewFromPoints(cloud, WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dm, err := k.RenderEps(res, 0.03)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hm, err := k.RenderTau(res, 0.02)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if refEps == nil {
+			refEps = append(refEps, dm.Values...)
+			refTau = append(refTau, hm.Hot...)
+			continue
+		}
+		for i, v := range dm.Values {
+			if v != refEps[i] {
+				t.Fatalf("workers=%d: εKDV pixel %d differs: %g vs %g", workers, i, v, refEps[i])
+			}
+		}
+		for i, h := range hm.Hot {
+			if h != refTau[i] {
+				t.Fatalf("workers=%d: τKDV pixel %d differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestRenderStatsCounters sanity-checks the RenderStats plumbing: pixel
+// counts match the raster, tile sharing records shared work, and the
+// per-pixel baseline records none.
+func TestRenderStatsCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	cloud := testCloud(rng, 600)
+	res := Resolution{W: 64, H: 48}
+
+	tiled, err := NewFromPoints(cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := tiled.RenderEpsStats(res, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pixels != res.W*res.H {
+		t.Errorf("Pixels = %d, want %d", st.Pixels, res.W*res.H)
+	}
+	if st.Tiles == 0 || st.SharedNodeEvals == 0 {
+		t.Errorf("tile-shared render recorded no shared work: %+v", st)
+	}
+	if st.Elapsed <= 0 {
+		t.Errorf("Elapsed not recorded: %v", st.Elapsed)
+	}
+
+	perPixel, err := NewFromPoints(cloud, WithTileSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pst, err := perPixel.RenderEpsStats(res, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pst.SharedNodeEvals != 0 || pst.Tiles != 0 {
+		t.Errorf("per-pixel baseline recorded shared work: %+v", pst)
+	}
+	if pst.NodesEvaluated == 0 {
+		t.Errorf("per-pixel baseline recorded no node evaluations")
+	}
+	// The whole point: tile sharing must cut per-pixel node evaluations.
+	if st.NodesEvaluated >= pst.NodesEvaluated {
+		t.Errorf("tile sharing did not reduce per-pixel node evals: tiled %d vs per-pixel %d",
+			st.NodesEvaluated, pst.NodesEvaluated)
+	}
+
+	_, tst, err := tiled.RenderTauStats(res, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tst.Pixels != res.W*res.H || tst.Tiles == 0 {
+		t.Errorf("τKDV stats incomplete: %+v", tst)
+	}
+}
+
+// TestHotFractionEmpty: an empty hotspot map has hot fraction 0, not NaN.
+func TestHotFractionEmpty(t *testing.T) {
+	m := &HotspotMap{}
+	if f := m.HotFraction(); f != 0 {
+		t.Errorf("empty HotFraction = %g, want 0", f)
+	}
+}
+
+// TestMapRelease exercises the pooled-buffer round trip: Release and a
+// subsequent render must not corrupt earlier results.
+func TestMapRelease(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	cloud := testCloud(rng, 300)
+	res := Resolution{W: 32, H: 24}
+	k, err := NewFromPoints(cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := k.RenderEps(res, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := append([]float64(nil), a.Values...)
+	a.Release()
+	if a.Values != nil {
+		t.Fatal("Release did not clear Values")
+	}
+	b, err := k.RenderEps(res, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range b.Values {
+		if v != keep[i] {
+			t.Fatalf("render after Release differs at %d: %g vs %g", i, v, keep[i])
+		}
+	}
+	hm, err := k.RenderTau(res, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm.Release()
+	if hm.Hot != nil {
+		t.Fatal("Release did not clear Hot")
+	}
+}
