@@ -1,8 +1,9 @@
 # Development targets for the quad KDV library and its commands.
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: build test vet race verify bench clean
+.PHONY: build test vet fmt race verify fuzz bench clean
 
 build:
 	$(GO) build ./...
@@ -10,18 +11,37 @@ build:
 vet:
 	$(GO) vet ./...
 
+# fmt fails if any file needs gofmt — the same gate CI applies.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-# verify is the full pre-merge gate: compile everything, lint, and run the
-# whole suite under the race detector.
-verify:
-	$(GO) build ./...
-	$(GO) vet ./...
-	$(GO) test -race ./...
+# verify is the pre-merge gate: compile everything, lint, run the full test
+# suite, then run the guarantee-conformance suite (oracle-differential,
+# bound-dominance, and metamorphic checks) on a small seeded dataset.
+# CI runs this plus the race and fuzz shards.
+verify: build vet fmt test
+	$(GO) run ./cmd/kdvcheck -dataset crime -n 1200 -seed 7 -res 32x24 \
+		-json results/kdvcheck.json > /dev/null
+
+# fuzz runs every native fuzz target for FUZZTIME each (Go allows one
+# -fuzz target per invocation). Corpora seeds live under each package's
+# testdata/fuzz/ and also run as plain tests in `make test`.
+fuzz:
+	$(GO) test ./internal/kernel -run='^$$' -fuzz='^FuzzExpEnvelopes$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/kernel -run='^$$' -fuzz='^FuzzDistKernelEnvelopes$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/dataset -run='^$$' -fuzz='^FuzzReadCSV$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/geom -run='^$$' -fuzz='^FuzzRectDistBounds$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/geom -run='^$$' -fuzz='^FuzzRectRectDistBounds$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/kdtree -run='^$$' -fuzz='^FuzzBuildInvariants$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/bounds -run='^$$' -fuzz='^FuzzEvaluatorBounds$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/bounds -run='^$$' -fuzz='^FuzzRectBounds$$' -fuzztime=$(FUZZTIME)
 
 # bench regenerates BENCH_PR2.json: the tile-shared traversal's speedup and
 # node-evaluation reduction over the per-pixel baseline (εKDV + τKDV,

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/quadkdv/quad/internal/conformance"
+	"github.com/quadkdv/quad/internal/dataset"
+)
+
+func tempOut(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "kdvcheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestRunSyntheticDataset(t *testing.T) {
+	stdout, stderr := tempOut(t), tempOut(t)
+	repPath := filepath.Join(t.TempDir(), "report.json")
+	code := run([]string{
+		"-dataset", "crime", "-n", "400", "-res", "24x18",
+		"-kernels", "gaussian,uniform", "-quick", "-json", repPath,
+	}, stdout, stderr)
+	if code != 0 {
+		msg, _ := os.ReadFile(stderr.Name())
+		t.Fatalf("exit code %d, stderr: %s", code, msg)
+	}
+	raw, err := os.ReadFile(repPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep conformance.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if !rep.Pass || rep.Passed == 0 || rep.Failed != 0 {
+		t.Errorf("report: pass=%v passed=%d failed=%d", rep.Pass, rep.Passed, rep.Failed)
+	}
+	// Stdout carries the same report.
+	raw, err = os.ReadFile(stdout.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep2 conformance.Report
+	if err := json.Unmarshal(raw, &rep2); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v", err)
+	}
+	if rep2.Dataset != "crime" || rep2.N != 400 {
+		t.Errorf("stdout report describes %s n=%d", rep2.Dataset, rep2.N)
+	}
+}
+
+func TestRunCSVInput(t *testing.T) {
+	pts := dataset.Crime(300, 5)
+	csv := filepath.Join(t.TempDir(), "pts.csv")
+	if err := dataset.SaveFile(csv, pts); err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr := tempOut(t), tempOut(t)
+	code := run([]string{
+		"-csv", csv, "-res", "20x16", "-quick",
+		"-kernels", "gaussian", "-methods", "quad,exact", "-tiles", "1,16",
+	}, stdout, stderr)
+	if code != 0 {
+		msg, _ := os.ReadFile(stderr.Name())
+		t.Fatalf("exit code %d, stderr: %s", code, msg)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := [][]string{
+		{"-res", "bogus"},
+		{"-tiles", "a,b"},
+		{"-kernels", "nope"},
+		{"-methods", "nope"},
+		{"-dataset", "nope"},
+		{"-csv", filepath.Join(t.TempDir(), "missing.csv")},
+	}
+	for _, args := range cases {
+		stdout, stderr := tempOut(t), tempOut(t)
+		if code := run(args, stdout, stderr); code != 2 {
+			t.Errorf("args %v: exit code %d, want 2", args, code)
+		}
+	}
+}

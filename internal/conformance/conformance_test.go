@@ -1,0 +1,82 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/quadkdv/quad/internal/dataset"
+)
+
+// TestRunFullSuite is the differential conformance suite of ISSUE 3: every
+// method × kernel × tile size, εKDV and τKDV, judged against the Kahan
+// oracle, plus bound dominance and metamorphic passes.
+func TestRunFullSuite(t *testing.T) {
+	n := 1500
+	if testing.Short() {
+		n = 400
+	}
+	rep, err := Run(Config{Name: "crime", Pts: dataset.Crime(n, 7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Failures() {
+		t.Errorf("FAIL %s: %s", c.Name, c.Detail)
+	}
+	if !rep.Pass {
+		t.Fatalf("%d/%d checks failed", rep.Failed, len(rep.Checks))
+	}
+
+	// The matrix must actually have been covered: spot-check cells from
+	// every axis of the cross product.
+	for _, want := range []string{
+		"eps/gaussian/quad/ts=1",
+		"eps/gaussian/quad/ts=16",
+		"eps/gaussian/karl/ts=4",
+		"eps/uniform/minmax/ts=16",
+		"eps/epanechnikov/exact/ts=1",
+		"eps/triangular/zorder/ts=1",
+		"tau/cosine/quad/ts=4",
+		"tau-tile-identity/gaussian/quad/ts=1-vs-16",
+		"eps-tile-drift/exponential/quad/ts=1-vs-4",
+		"eps-tile-identity/quartic/exact/ts=1-vs-16",
+		"determinism/eps-workers",
+		"bounds/sandwich/gaussian/quad",
+		"bounds/hierarchy/gaussian/quad-in-karl",
+		"bounds/rect/uniform/minmax",
+		"bounds/envelope/gaussian",
+		"metamorphic/weight-linearity/eps",
+		"metamorphic/scale/eps",
+		"metamorphic/duplication/render-agreement",
+		"metamorphic/sampling-monotonicity",
+	} {
+		if !hasCheck(rep, want) {
+			t.Errorf("suite did not run check %q", want)
+		}
+	}
+
+	// No linear (KARL) cells outside the Gaussian kernel.
+	for _, c := range rep.Checks {
+		if strings.Contains(c.Name, "/karl/") && !strings.Contains(c.Name, "gaussian") {
+			t.Errorf("KARL ran on a non-Gaussian kernel: %s", c.Name)
+		}
+	}
+}
+
+func hasCheck(rep *Report, name string) bool {
+	for _, c := range rep.Checks {
+		if c.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRunValidates(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	pts := dataset.Hep(50, 5, 1)
+	if _, err := Run(Config{Pts: pts}); err == nil {
+		t.Error("non-2-d dataset accepted")
+	}
+}

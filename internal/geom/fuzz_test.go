@@ -1,0 +1,88 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// clampCoord folds an arbitrary fuzzed float into a sane coordinate range,
+// rejecting NaN/Inf by mapping them to 0.
+func clampCoord(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 1e6)
+}
+
+// FuzzRectDistBounds: for a fuzzer-chosen rectangle and query, MinDist2 and
+// MaxDist2 must bracket the true squared distance to every point inside the
+// rectangle — the invariant every bound method's [x_min, x_max] interval
+// rests on.
+func FuzzRectDistBounds(f *testing.F) {
+	f.Add(0.0, 0.0, 1.0, 1.0, 0.5, 0.5, int64(1))
+	f.Add(-3.0, 2.0, 0.0, 7.0, 10.0, -4.0, int64(9))
+	f.Add(5.0, 5.0, 5.0, 5.0, 5.0, 5.0, int64(3)) // degenerate rect, q inside
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by, qx, qy float64, seed int64) {
+		ax, ay = clampCoord(ax), clampCoord(ay)
+		bx, by = clampCoord(bx), clampCoord(by)
+		q := []float64{clampCoord(qx), clampCoord(qy)}
+		r := Rect{Min: []float64{math.Min(ax, bx), math.Min(ay, by)},
+			Max: []float64{math.Max(ax, bx), math.Max(ay, by)}}
+		min2, max2 := r.MinDist2(q), r.MaxDist2(q)
+		if min2 < 0 || max2 < min2 {
+			t.Fatalf("inverted interval [%g, %g] for rect %v q %v", min2, max2, r, q)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		p := make([]float64, 2)
+		for i := 0; i < 16; i++ {
+			for j := range p {
+				p[j] = r.Min[j] + rng.Float64()*(r.Max[j]-r.Min[j])
+			}
+			d2 := Dist2(q, p)
+			tol := 1e-9 * (1 + d2)
+			if d2 < min2-tol || d2 > max2+tol {
+				t.Fatalf("point %v in rect %v: dist² %g outside [%g, %g] from q %v", p, r, d2, min2, max2, q)
+			}
+		}
+	})
+}
+
+// FuzzRectRectDistBounds: MinDist2Rect/MaxDist2Rect must bracket the
+// distance between every pair of points drawn from the two rectangles — the
+// invariant the tile-shared rect-query bounds rest on.
+func FuzzRectRectDistBounds(f *testing.F) {
+	f.Add(0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0, int64(1))
+	f.Add(0.0, 0.0, 4.0, 4.0, 1.0, 1.0, 2.0, 2.0, int64(5)) // containment
+	f.Add(1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, int64(2)) // both degenerate
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by, cx, cy, dx, dy float64, seed int64) {
+		ax, ay = clampCoord(ax), clampCoord(ay)
+		bx, by = clampCoord(bx), clampCoord(by)
+		cx, cy = clampCoord(cx), clampCoord(cy)
+		dx, dy = clampCoord(dx), clampCoord(dy)
+		a := Rect{Min: []float64{math.Min(ax, bx), math.Min(ay, by)},
+			Max: []float64{math.Max(ax, bx), math.Max(ay, by)}}
+		b := Rect{Min: []float64{math.Min(cx, dx), math.Min(cy, dy)},
+			Max: []float64{math.Max(cx, dx), math.Max(cy, dy)}}
+		min2, max2 := a.MinDist2Rect(b), a.MaxDist2Rect(b)
+		if min2 < 0 || max2 < min2 {
+			t.Fatalf("inverted interval [%g, %g] for rects %v, %v", min2, max2, a, b)
+		}
+		if g, w := b.MinDist2Rect(a), b.MaxDist2Rect(a); g != min2 || w != max2 {
+			t.Fatalf("rect-rect distance not symmetric: [%g,%g] vs [%g,%g]", min2, max2, g, w)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		p, q := make([]float64, 2), make([]float64, 2)
+		for i := 0; i < 16; i++ {
+			for j := range p {
+				p[j] = a.Min[j] + rng.Float64()*(a.Max[j]-a.Min[j])
+				q[j] = b.Min[j] + rng.Float64()*(b.Max[j]-b.Min[j])
+			}
+			d2 := Dist2(p, q)
+			tol := 1e-9 * (1 + d2)
+			if d2 < min2-tol || d2 > max2+tol {
+				t.Fatalf("pair %v/%v: dist² %g outside [%g, %g]", p, q, d2, min2, max2)
+			}
+		}
+	})
+}

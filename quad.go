@@ -47,6 +47,7 @@ package quad
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/quadkdv/quad/internal/bounds"
 	"github.com/quadkdv/quad/internal/engine"
@@ -199,8 +200,11 @@ func WithWindowMargin(frac float64) Option { return func(c *config) { c.seedWind
 // pixel's refinement then warm-starts from the small residual frontier
 // instead of the root. 1 disables sharing (the paper's pure per-pixel
 // refinement — useful as a baseline); 0 or negative selects the default.
-// Tile size changes work distribution only, never results: the εKDV and
-// τKDV guarantees hold for every setting.
+// Every setting honors the guarantees, but εKDV pixel values may differ
+// across tile sizes: warm-started refinement can stop at a different
+// (still ε-certified) interval than root refinement, so only τKDV hot
+// masks are bit-identical for every tile size. For a fixed tile size,
+// renders are deterministic and independent of the worker count.
 func WithTileSize(n int) Option { return func(c *config) { c.tileSize = n } }
 
 // BandwidthRule selects the automatic bandwidth selector used when
@@ -249,7 +253,8 @@ type KDV struct {
 	sample       geom.Points       // Z-order sample (MethodZOrder)
 	sampleWeight float64
 	engines      sync.Pool
-	tileScratch  sync.Pool // *renderScratch for tile render workers
+	tileScratch  sync.Pool    // *renderScratch for tile render workers
+	scratchLive  atomic.Int64 // render scratches checked out and not yet returned
 }
 
 // New builds a KDV instance over a flat row-major coordinate buffer of

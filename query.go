@@ -8,6 +8,7 @@ import (
 	"github.com/quadkdv/quad/internal/engine"
 	"github.com/quadkdv/quad/internal/geom"
 	"github.com/quadkdv/quad/internal/grid"
+	"github.com/quadkdv/quad/internal/oracle"
 )
 
 // acquireEngine hands out a per-goroutine engine (engines hold scratch
@@ -58,6 +59,7 @@ func (k *KDV) acquireRenderScratch() (*renderScratch, error) {
 		s = &renderScratch{te: engine.NewTileEngine(nil), q: make([]float64, 2)}
 	}
 	s.te.Engine = eng
+	k.scratchLive.Add(1)
 	return s, nil
 }
 
@@ -65,6 +67,7 @@ func (k *KDV) releaseRenderScratch(s *renderScratch) {
 	k.releaseEngine(s.te.Engine)
 	s.te.Engine = nil
 	k.tileScratch.Put(s)
+	k.scratchLive.Add(-1)
 }
 
 func (k *KDV) checkQuery(q []float64) error {
@@ -74,12 +77,22 @@ func (k *KDV) checkQuery(q []float64) error {
 	return nil
 }
 
-// Density computes the exact kernel density F_P(q) by a sequential scan.
+// Density computes the exact kernel density F_P(q) by a sequential scan
+// with Kahan–Neumaier compensated summation — the same accumulator the
+// conformance oracle trusts, so the public exact answer is correct to one
+// rounding of the true sum regardless of dataset size or skew.
 func (k *KDV) Density(q []float64) (float64, error) {
 	if err := k.checkQuery(q); err != nil {
 		return 0, err
 	}
-	return bounds.ExactScan(k.pts, k.weights, k.cfg.kern.internal(), k.bw.Gamma, k.bw.Weight, q), nil
+	o := oracle.Oracle{
+		Pts:     k.pts,
+		Weights: k.weights,
+		Kern:    k.cfg.kern.internal(),
+		Gamma:   k.bw.Gamma,
+		Weight:  k.bw.Weight,
+	}
+	return o.Density(q), nil
 }
 
 // Estimate answers an εKDV query: a value R with |R − F_P(q)| ≤ ε·F_P(q).

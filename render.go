@@ -294,8 +294,9 @@ type renderPass struct {
 // traversal (one shared kd-tree refinement per tile, per-pixel refinement
 // warm-started from the residual frontier). Tile results do not depend on
 // which worker computes them, so output is bit-identical for every worker
-// count. Each worker polls ctx between tiles; the first context error is
-// returned after all workers have exited.
+// count. Each worker polls ctx between tiles and between pixel rows inside
+// a tile (large tiles would otherwise delay cancellation by a whole tile's
+// work); the first context error is returned after all workers have exited.
 func (k *KDV) renderValues(ctx context.Context, g *grid.Grid, pass renderPass) ([]float64, error) {
 	vals := getVals(g.Res.Pixels())
 	size := k.tileSize()
@@ -322,7 +323,7 @@ func (k *KDV) renderValues(ctx context.Context, g *grid.Grid, pass renderPass) (
 		go func() {
 			defer wg.Done()
 			var local RenderStats
-			run, cleanup, err := k.newTileRunner(g, size, pass, &local)
+			run, cleanup, err := k.newTileRunner(ctx, g, size, pass, &local)
 			if err != nil {
 				errOnce.Do(func() { firstErr = err })
 				return
@@ -364,8 +365,10 @@ func (k *KDV) renderValues(ctx context.Context, g *grid.Grid, pass renderPass) (
 
 // newTileRunner builds one worker's tile evaluator for the pass. The
 // returned run writes every pixel of its span into vals; cleanup returns the
-// worker's pooled scratch.
-func (k *KDV) newTileRunner(g *grid.Grid, size int, pass renderPass, local *RenderStats) (run func(tileSpan, []float64), cleanup func(), err error) {
+// worker's pooled scratch. run polls ctx between pixel rows and returns
+// early once it is cancelled — partial tile output is fine because the
+// caller discards the raster on any context error.
+func (k *KDV) newTileRunner(ctx context.Context, g *grid.Grid, size int, pass renderPass, local *RenderStats) (run func(tileSpan, []float64), cleanup func(), err error) {
 	kern := k.cfg.kern.internal()
 	switch k.cfg.method {
 	case MethodExact, MethodZOrder:
@@ -376,6 +379,9 @@ func (k *KDV) newTileRunner(g *grid.Grid, size int, pass renderPass, local *Rend
 		q := make([]float64, 2)
 		run = func(t tileSpan, vals []float64) {
 			for y := t.y0; y < t.y1; y++ {
+				if ctx.Err() != nil {
+					return
+				}
 				for x := t.x0; x < t.x1; x++ {
 					g.Query(x, y, q)
 					v := bounds.ExactScan(pts, ws, kern, k.bw.Gamma, wt, q)
@@ -402,6 +408,9 @@ func (k *KDV) newTileRunner(g *grid.Grid, size int, pass renderPass, local *Rend
 		// root, kept as the WithTileSize(1) baseline.
 		run = func(t tileSpan, vals []float64) {
 			for y := t.y0; y < t.y1; y++ {
+				if ctx.Err() != nil {
+					return
+				}
 				for x := t.x0; x < t.x1; x++ {
 					g.Query(x, y, s.q)
 					var v float64
@@ -427,6 +436,9 @@ func (k *KDV) newTileRunner(g *grid.Grid, size int, pass renderPass, local *Rend
 	// frontier-promotion coherence signal meaningful.
 	runPixels := func(t tileSpan, f *engine.Frontier, vals []float64) {
 		for y := t.y0; y < t.y1; y++ {
+			if ctx.Err() != nil {
+				return
+			}
 			x0, x1, dx := t.x0, t.x1-1, 1
 			if (y-t.y0)%2 == 1 {
 				x0, x1, dx = t.x1-1, t.x0, -1
@@ -469,6 +481,9 @@ func (k *KDV) newTileRunner(g *grid.Grid, size int, pass renderPass, local *Rend
 	// from.
 	rootPixels := func(t tileSpan, vals []float64) {
 		for y := t.y0; y < t.y1; y++ {
+			if ctx.Err() != nil {
+				return
+			}
 			for x := t.x0; x < t.x1; x++ {
 				g.Query(x, y, s.q)
 				v, st := s.te.EvalEps(s.q, pass.eps)
