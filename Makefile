@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test vet fmt race verify fuzz bench clean
+.PHONY: build test vet fmt race verify fuzz bench smoke clean
 
 build:
 	$(GO) build ./...
@@ -43,11 +43,17 @@ fuzz:
 	$(GO) test ./internal/bounds -run='^$$' -fuzz='^FuzzEvaluatorBounds$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/bounds -run='^$$' -fuzz='^FuzzRectBounds$$' -fuzztime=$(FUZZTIME)
 
-# bench regenerates BENCH_PR2.json: the tile-shared traversal's speedup and
+# bench regenerates BENCH_PR4.json: the tile-shared traversal's speedup and
 # node-evaluation reduction over the per-pixel baseline (εKDV + τKDV,
-# crime analogue at 30k points, 256² and 512²).
+# crime analogue at 30k points, 256² and 512²), plus the telemetry-overhead
+# delta of stats collection vs the no-op recorder.
 bench:
-	$(GO) run ./cmd/kdvbench -json BENCH_PR2.json -jsonn 30000
+	$(GO) run ./cmd/kdvbench -json BENCH_PR4.json -jsonn 30000
+
+# smoke boots kdvserve, waits for /readyz, renders once, and asserts the
+# /metrics scrape saw the work — the end-to-end check of the telemetry path.
+smoke:
+	./scripts/smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -568,3 +568,41 @@ func BenchmarkRender(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkTelemetryOverhead is the PR 4 acceptance benchmark: the same
+// εKDV render through the plain entry point (nil stats recorder — the
+// disabled-telemetry hot path) and through the stats-collecting one. The
+// two sub-bench times must stay within 2% of each other; BENCH_PR4.json
+// records the measured delta (regenerate with `make bench`).
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	const (
+		renderN   = 30000
+		renderEps = 0.05
+	)
+	res := quad.Resolution{W: 256, H: 256}
+	coords, dim := getData(b, "crime", renderN)
+	k, err := quad.New(coords, dim,
+		quad.WithKernel(quad.Gaussian),
+		quad.WithMethod(quad.MethodQuadratic))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("nostats", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dm, err := k.RenderEps(res, renderEps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dm.Release()
+		}
+	})
+	b.Run("stats", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dm, _, err := k.RenderEpsStats(res, renderEps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dm.Release()
+		}
+	})
+}

@@ -45,6 +45,54 @@ type jsonReport struct {
 	// the cells).
 	Speedups       map[string]float64 `json:"speedups"`
 	NodeReductions map[string]float64 `json:"node_reductions"`
+	// TelemetryOverhead measures stats collection against the no-op path —
+	// the PR4 acceptance number (delta must stay ≤ 2%).
+	TelemetryOverhead *telemetryOverhead `json:"telemetry_overhead,omitempty"`
+}
+
+// telemetryOverhead compares the plain render entry point (nil stats
+// recorder compiled into the hot path) with the stats-collecting one on an
+// identical render. Best-of-rounds on each side, interleaved, so scheduler
+// noise hits both alike.
+type telemetryOverhead struct {
+	Res       string  `json:"res"`
+	Rounds    int     `json:"rounds"`
+	NoStatsMS float64 `json:"render_ms_nostats"`
+	StatsMS   float64 `json:"render_ms_stats"`
+	// DeltaPct is (stats − nostats)/nostats × 100; negative means noise
+	// favored the stats side.
+	DeltaPct float64 `json:"delta_pct"`
+}
+
+// measureTelemetryOverhead interleaves rounds of the two entry points and
+// keeps each side's best time.
+func measureTelemetryOverhead(k *quad.KDV, res quad.Resolution, eps float64, rounds int) (*telemetryOverhead, error) {
+	best := func(cur, v float64) float64 {
+		if cur == 0 || v < cur {
+			return v
+		}
+		return cur
+	}
+	o := &telemetryOverhead{Res: res.String(), Rounds: rounds}
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		dm, err := k.RenderEps(res, eps)
+		if err != nil {
+			return nil, err
+		}
+		dm.Release()
+		o.NoStatsMS = best(o.NoStatsMS, float64(time.Since(start).Microseconds())/1e3)
+
+		start = time.Now()
+		dm, _, err = k.RenderEpsStats(res, eps)
+		if err != nil {
+			return nil, err
+		}
+		dm.Release()
+		o.StatsMS = best(o.StatsMS, float64(time.Since(start).Microseconds())/1e3)
+	}
+	o.DeltaPct = (o.StatsMS - o.NoStatsMS) / o.NoStatsMS * 100
+	return o, nil
 }
 
 // runJSONBench measures tile-shared vs per-pixel rendering and writes the
@@ -145,6 +193,14 @@ func runJSONBench(path string, seed int64, n int) error {
 			rep.Cells = append(rep.Cells, cells[:]...)
 		}
 	}
+	over, err := measureTelemetryOverhead(tiled, quad.Resolution{W: 512, H: 512}, eps, 3)
+	if err != nil {
+		return err
+	}
+	rep.TelemetryOverhead = over
+	fmt.Printf("telemetry overhead @ %s: nostats %.1f ms, stats %.1f ms (%+.2f%%)\n",
+		over.Res, over.NoStatsMS, over.StatsMS, over.DeltaPct)
+
 	out, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		return err

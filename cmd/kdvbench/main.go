@@ -24,6 +24,7 @@ import (
 
 	"github.com/quadkdv/quad/internal/grid"
 	"github.com/quadkdv/quad/internal/harness"
+	"github.com/quadkdv/quad/internal/telemetry"
 )
 
 func main() {
@@ -38,8 +39,17 @@ func main() {
 		sizes    = flag.String("sizes", "", "override dataset sizes, e.g. crime=100000,hep=500000")
 		jsonPath = flag.String("json", "", "measure tile-shared vs per-pixel rendering and write a JSON report to this path")
 		jsonN    = flag.Int("jsonn", 100000, "dataset cardinality for the -json benchmark")
+		pprof    = flag.String("pprof-addr", "", "side listener for net/http/pprof and expvar (empty disables)")
 	)
 	flag.Parse()
+
+	if *pprof != "" {
+		bound, err := telemetry.StartDebug(*pprof, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "kdvbench: debug listener on %s\n", bound)
+	}
 
 	if *jsonPath != "" {
 		if err := runJSONBench(*jsonPath, *seed, *jsonN); err != nil {

@@ -23,6 +23,7 @@ import (
 	"github.com/quadkdv/quad/internal/geom"
 	"github.com/quadkdv/quad/internal/grid"
 	"github.com/quadkdv/quad/internal/kernel"
+	"github.com/quadkdv/quad/internal/telemetry"
 )
 
 func main() {
@@ -48,9 +49,18 @@ func run(args []string, stdout, stderr *os.File) int {
 		workers  = fs.Int("workers", 1, "render workers")
 		quick    = fs.Bool("quick", false, "skip the bound-dominance and metamorphic passes")
 		jsonPath = fs.String("json", "", "also write the JSON report to this path")
+		pprof    = fs.String("pprof-addr", "", "side listener for net/http/pprof and expvar (empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *pprof != "" {
+		bound, err := telemetry.StartDebug(*pprof, nil)
+		if err != nil {
+			fmt.Fprintf(stderr, "kdvcheck: pprof listener: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "kdvcheck: debug listener on %s\n", bound)
 	}
 
 	cfg := conformance.Config{

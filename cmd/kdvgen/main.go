@@ -14,17 +14,26 @@ import (
 
 	"github.com/quadkdv/quad/internal/dataset"
 	"github.com/quadkdv/quad/internal/geom"
+	"github.com/quadkdv/quad/internal/telemetry"
 )
 
 func main() {
 	var (
-		name = flag.String("name", "", "dataset: elnino|crime|home|hep")
-		n    = flag.Int("n", 0, "number of points (0 = paper cardinality)")
-		dims = flag.Int("dims", 0, "dimensions for hep (default 10); others are 2-d")
-		seed = flag.Int64("seed", 1, "generator seed")
-		out  = flag.String("o", "", "output CSV path (default <name>.csv)")
+		name  = flag.String("name", "", "dataset: elnino|crime|home|hep")
+		n     = flag.Int("n", 0, "number of points (0 = paper cardinality)")
+		dims  = flag.Int("dims", 0, "dimensions for hep (default 10); others are 2-d")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		out   = flag.String("o", "", "output CSV path (default <name>.csv)")
+		pprof = flag.String("pprof-addr", "", "side listener for net/http/pprof and expvar (empty disables)")
 	)
 	flag.Parse()
+	if *pprof != "" {
+		bound, err := telemetry.StartDebug(*pprof, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "kdvgen: debug listener on %s\n", bound)
+	}
 	if *name == "" {
 		fmt.Fprintln(os.Stderr, "kdvgen: -name required (elnino|crime|home|hep)")
 		os.Exit(2)

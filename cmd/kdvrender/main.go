@@ -19,6 +19,7 @@ import (
 
 	quad "github.com/quadkdv/quad"
 	"github.com/quadkdv/quad/internal/dataset"
+	"github.com/quadkdv/quad/internal/telemetry"
 )
 
 func main() {
@@ -36,9 +37,17 @@ func main() {
 		progress = flag.Duration("progressive", 0, "progressive render with this time budget")
 		logScale = flag.Bool("log", true, "logarithmic color scale")
 		windowF  = flag.String("window", "", "pan/zoom window minX,minY,maxX,maxY (default: dataset bounds)")
+		pprof    = flag.String("pprof-addr", "", "side listener for net/http/pprof and expvar (empty disables)")
 	)
 	flag.Parse()
 
+	if *pprof != "" {
+		bound, err := telemetry.StartDebug(*pprof, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "kdvrender: debug listener on %s\n", bound)
+	}
 	pts, err := loadPoints(*dataPath, *gen, *n, *seed)
 	if err != nil {
 		fatal(err)

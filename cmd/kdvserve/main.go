@@ -16,6 +16,12 @@
 // degradation of /render past its deadline, and graceful shutdown — on
 // SIGINT/SIGTERM it stops accepting connections, drains in-flight requests
 // for up to -shutdown-timeout, then exits.
+//
+// Observability: GET /metrics serves Prometheus text format, GET /readyz
+// reports readiness once the default dataset is warm, -pprof-addr starts a
+// side listener with net/http/pprof, expvar, and the same /metrics, and
+// -slow-query logs slow requests as JSON lines (request ID, parameters,
+// render work counters) on stderr.
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"time"
 
 	"github.com/quadkdv/quad/internal/serve"
+	"github.com/quadkdv/quad/internal/telemetry"
 )
 
 func main() {
@@ -46,6 +53,8 @@ func run() int {
 		cacheSize       = flag.Int("cache-size", 32, "max cached KDV builds")
 		degradeBudget   = flag.Duration("degrade-budget", 250*time.Millisecond, "progressive fallback budget when /render misses its deadline")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
+		pprofAddr       = flag.String("pprof-addr", "", "side listener for net/http/pprof, expvar, and /metrics (e.g. localhost:6060; empty disables)")
+		slowQuery       = flag.Duration("slow-query", 0, "log any request at least this slow as a JSON line on stderr (0 disables)")
 	)
 	flag.Parse()
 
@@ -56,6 +65,7 @@ func run() int {
 		MaxQueue:       *maxQueue,
 		CacheSize:      *cacheSize,
 		DegradeBudget:  *degradeBudget,
+		SlowQuery:      *slowQuery,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -63,8 +73,25 @@ func run() int {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
+	if *pprofAddr != "" {
+		bound, err := telemetry.StartDebug(*pprofAddr, s.Registry())
+		if err != nil {
+			log.Printf("kdvserve: pprof listener: %v", err)
+			return 1
+		}
+		log.Printf("kdvserve: debug listener on %s (pprof, expvar, metrics)", bound)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Warm the default dataset in the background so /readyz flips green
+	// without waiting for the first probe to trigger it.
+	go func() {
+		if err := s.Warmup(context.Background()); err != nil {
+			log.Printf("kdvserve: warmup: %v", err)
+		}
+	}()
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()

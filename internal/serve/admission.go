@@ -3,6 +3,9 @@ package serve
 import (
 	"context"
 	"errors"
+	"time"
+
+	"github.com/quadkdv/quad/internal/telemetry"
 )
 
 // errBusy reports that both every render slot and every queue position is
@@ -17,6 +20,11 @@ var errBusy = errors.New("serve: at capacity (all render slots and queue positio
 type admission struct {
 	slots chan struct{}
 	queue chan struct{}
+
+	// Telemetry recorders, nil (no-op) until instrument is called.
+	admitted, rejected *telemetry.Counter
+	queueWait          *telemetry.Histogram
+	running            *telemetry.Gauge
 }
 
 func newAdmission(concurrent, queueDepth int) *admission {
@@ -32,6 +40,16 @@ func newAdmission(concurrent, queueDepth int) *admission {
 	}
 }
 
+// instrument wires the controller's counters to the server's metric set.
+func (a *admission) instrument(m *metrics) {
+	if m == nil {
+		return
+	}
+	a.admitted, a.rejected = m.admAdmitted, m.admRejected
+	a.queueWait = m.admQueueWait
+	a.running = m.admInFlight
+}
+
 // admit claims a render slot, waiting in the bounded queue if all slots are
 // busy. It returns a release func on success; errBusy when the queue is
 // full; ctx.Err() when the caller's context ends while queued.
@@ -39,11 +57,25 @@ func (a *admission) admit(ctx context.Context) (release func(), err error) {
 	select {
 	case a.queue <- struct{}{}:
 	default:
+		a.rejected.Inc()
 		return nil, errBusy
+	}
+	var queued time.Time
+	if a.queueWait != nil {
+		queued = time.Now()
 	}
 	select {
 	case a.slots <- struct{}{}:
-		return func() { <-a.slots; <-a.queue }, nil
+		a.admitted.Inc()
+		if a.queueWait != nil {
+			a.queueWait.ObserveDuration(time.Since(queued))
+		}
+		a.running.Inc()
+		return func() {
+			<-a.slots
+			<-a.queue
+			a.running.Dec()
+		}, nil
 	case <-ctx.Done():
 		<-a.queue
 		return nil, ctx.Err()

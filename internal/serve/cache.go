@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	quad "github.com/quadkdv/quad"
+	"github.com/quadkdv/quad/internal/telemetry"
 )
 
 // kdvCache is a bounded LRU cache of built KDV instances with singleflight
@@ -18,6 +19,20 @@ type kdvCache struct {
 	ll       *list.List               // MRU at front; values are *cacheEntry
 	entries  map[string]*list.Element // key → element in ll
 	building map[string]*buildCall    // keys with an in-flight build
+
+	// Telemetry recorders, nil (no-op) until instrument is called.
+	hits, misses, coalesced, evictions *telemetry.Counter
+	resident                           *telemetry.Gauge
+}
+
+// instrument wires the cache's counters to the server's metric set.
+func (c *kdvCache) instrument(m *metrics) {
+	if m == nil {
+		return
+	}
+	c.hits, c.misses = m.cacheHits, m.cacheMisses
+	c.coalesced, c.evictions = m.cacheCoalesced, m.cacheEvictions
+	c.resident = m.cacheEntries
 }
 
 type cacheEntry struct {
@@ -55,10 +70,12 @@ func (c *kdvCache) get(ctx context.Context, key string, build func() (*quad.KDV,
 		c.ll.MoveToFront(el)
 		k := el.Value.(*cacheEntry).kdv
 		c.mu.Unlock()
+		c.hits.Inc()
 		return k, nil
 	}
 	if call, ok := c.building[key]; ok {
 		c.mu.Unlock()
+		c.coalesced.Inc()
 		select {
 		case <-call.done:
 			return call.kdv, call.err
@@ -69,6 +86,7 @@ func (c *kdvCache) get(ctx context.Context, key string, build func() (*quad.KDV,
 	call := &buildCall{done: make(chan struct{})}
 	c.building[key] = call
 	c.mu.Unlock()
+	c.misses.Inc()
 
 	call.kdv, call.err = build()
 
@@ -93,7 +111,9 @@ func (c *kdvCache) insertLocked(key string, k *quad.KDV) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions.Inc()
 	}
+	c.resident.Set(int64(c.ll.Len()))
 }
 
 // len reports the number of cached entries (not counting in-flight builds).

@@ -12,16 +12,25 @@ import (
 )
 
 // errorResponse is the structured JSON body of every non-2xx response.
+// RequestID echoes X-Request-ID so a client error report can be matched to
+// server logs.
 type errorResponse struct {
-	Error  string `json:"error"`
-	Status int    `json:"status"`
+	Error     string `json:"error"`
+	Status    int    `json:"status"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
-// writeError emits a structured JSON error response.
+// writeError emits a structured JSON error response. The request ID is
+// read off the response header, where the requestID middleware stamped it
+// before any handler ran.
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...), Status: status})
+	_ = json.NewEncoder(w).Encode(errorResponse{
+		Error:     fmt.Sprintf(format, args...),
+		Status:    status,
+		RequestID: responseID(w),
+	})
 }
 
 // requestError maps an error from a handler body to the right status:
@@ -48,7 +57,8 @@ func recoverJSON(next http.Handler) http.Handler {
 				if rec == http.ErrAbortHandler {
 					panic(rec)
 				}
-				log.Printf("serve: panic in %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				log.Printf("serve: panic in %s %s (request_id=%s): %v\n%s",
+					r.Method, r.URL.Path, responseID(w), rec, debug.Stack())
 				writeError(w, http.StatusInternalServerError, "internal error: %v", rec)
 			}
 		}()

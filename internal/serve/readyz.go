@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"log"
+	"net/http"
+
+	quad "github.com/quadkdv/quad"
+)
+
+// Warmup states. Failure returns the machine to idle so the next readiness
+// probe retries the build instead of wedging the replica unready forever.
+const (
+	warmIdle int32 = iota
+	warmRunning
+	warmDone
+)
+
+// Warmup builds and caches the default dataset's KDV so the first real
+// /render hits a warm cache. It is idempotent and races safely with the
+// lazy warmup that /readyz probes trigger: whoever wins the CAS does the
+// build, everyone else returns immediately (nil if warmup is already
+// underway or done).
+func (s *Server) Warmup(ctx context.Context) error {
+	if !s.warmState.CompareAndSwap(warmIdle, warmRunning) {
+		return nil
+	}
+	kern, _ := quad.ParseKernel("gaussian")
+	method, _ := quad.ParseMethod("quad")
+	_, err := s.kdvFor(ctx, s.cfg.WarmDataset, s.DefaultN, 1, kern, method, 0.01)
+	if err != nil {
+		s.warmState.Store(warmIdle)
+		return err
+	}
+	s.warmState.Store(warmDone)
+	s.m.ready.Set(1)
+	return nil
+}
+
+// Ready reports whether the warmup build has completed.
+func (s *Server) Ready() bool { return s.warmState.Load() == warmDone }
+
+// handleReadyz is the readiness probe: 200 only once the default KDV is
+// built and cached, 503 while cold. A cold probe triggers the warmup in the
+// background, so replicas behind a load balancer warm themselves without
+// any operator action — the first probe starts the build, a later probe
+// turns green.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.Ready() {
+		_ = json.NewEncoder(w).Encode(map[string]any{"status": "ready"})
+		return
+	}
+	go func() {
+		if err := s.Warmup(context.Background()); err != nil {
+			log.Printf("serve: warmup: %v", err)
+		}
+	}()
+	w.WriteHeader(http.StatusServiceUnavailable)
+	_ = json.NewEncoder(w).Encode(map[string]any{"status": "warming"})
+}

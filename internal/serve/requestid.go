@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+)
+
+// requestIDHeader is the header the middleware honors, echoes, and that
+// error bodies and logs quote.
+const requestIDHeader = "X-Request-ID"
+
+// maxRequestIDLen truncates absurd client-supplied IDs so they cannot be
+// used to bloat logs.
+const maxRequestIDLen = 128
+
+// requestID is the outermost middleware: it adopts the client's
+// X-Request-ID (or mints one), and sets it on the response header before
+// any handler runs — so every later layer (error bodies, panic logs, the
+// slow-query log) can read the ID straight off the ResponseWriter without
+// threading the request through.
+func requestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(requestIDHeader)
+		if id == "" || len(id) > maxRequestIDLen {
+			id = newRequestID()
+		}
+		w.Header().Set(requestIDHeader, id)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// newRequestID returns 16 hex chars of crypto randomness — collision-proof
+// for log correlation without coordinating any counter.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// responseID reads the request ID the middleware stamped on the response.
+func responseID(w http.ResponseWriter) string {
+	return w.Header().Get(requestIDHeader)
+}

@@ -34,16 +34,21 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	quad "github.com/quadkdv/quad"
 	"github.com/quadkdv/quad/internal/dataset"
 	"github.com/quadkdv/quad/internal/grid"
 	"github.com/quadkdv/quad/internal/render"
+	"github.com/quadkdv/quad/internal/telemetry"
 )
 
 // maxPixels caps requested rasters to keep a single request from consuming
@@ -75,6 +80,16 @@ type Config struct {
 	// graceful-degradation fallback after its deadline fires
 	// (default 250ms).
 	DegradeBudget time.Duration
+	// WarmDataset is the dataset Warmup builds to flip /readyz green
+	// (default "crime").
+	WarmDataset string
+	// SlowQuery enables the structured slow-query log: any request running
+	// at least this long is appended as one JSON line to SlowQueryLog.
+	// 0 disables the log.
+	SlowQuery time.Duration
+	// SlowQueryLog receives the slow-query lines (default os.Stderr).
+	// Writes are serialized by the server.
+	SlowQueryLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -96,6 +111,12 @@ func (c Config) withDefaults() Config {
 	if c.DegradeBudget <= 0 {
 		c.DegradeBudget = 250 * time.Millisecond
 	}
+	if c.WarmDataset == "" {
+		c.WarmDataset = "crime"
+	}
+	if c.SlowQueryLog == nil {
+		c.SlowQueryLog = os.Stderr
+	}
 	return c
 }
 
@@ -110,6 +131,11 @@ type Server struct {
 	cfg   Config
 	cache *kdvCache
 	adm   *admission
+
+	reg       *telemetry.Registry
+	m         *metrics
+	warmState atomic.Int32
+	slowMu    sync.Mutex
 }
 
 // NewServer returns a Server with sane defaults.
@@ -118,25 +144,40 @@ func NewServer() *Server { return NewServerWith(Config{}) }
 // NewServerWith returns a Server tuned by cfg; zero fields take defaults.
 func NewServerWith(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	reg := telemetry.NewRegistry()
+	s := &Server{
 		DefaultN: cfg.DefaultN,
 		cfg:      cfg,
 		cache:    newKDVCache(cfg.CacheSize),
 		adm:      newAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
+		reg:      reg,
+		m:        newMetrics(reg),
 	}
+	s.cache.instrument(s.m)
+	s.adm.instrument(s.m)
+	return s
 }
 
-// Handler returns the HTTP handler tree with the hardening middleware
-// (panic recovery around everything; admission control and per-request
-// deadlines around the render endpoints).
+// Registry exposes the server's metric registry so a debug side listener
+// (telemetry.StartDebug) can serve the same /metrics the main handler does.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// Handler returns the HTTP handler tree with the hardening and
+// observability middleware. Ordering, outermost first: requestID (stamps
+// X-Request-ID on the response before anything can fail), instrument
+// (status/latency metrics and the slow-query log — outside recovery, so a
+// panic is counted as the 500 it becomes), recoverJSON, then the mux with
+// admission control and per-request deadlines around the render endpoints.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /info", s.handleInfo)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.Handle("GET /render", s.guard(s.handleRender))
 	mux.Handle("GET /hotspots", s.guard(s.handleHotspots))
 	mux.Handle("GET /progressive", s.guard(s.handleProgressive))
-	return recoverJSON(mux)
+	return requestID(s.instrument(recoverJSON(mux)))
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -146,7 +187,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 			"epanechnikov", "quartic", "uniform"},
 		"methods":   []string{"quad", "karl", "minmax", "exact", "zorder"},
 		"default_n": s.DefaultN,
-		"endpoints": []string{"/render", "/hotspots", "/progressive", "/healthz"},
+		"endpoints": []string{"/render", "/hotspots", "/progressive", "/healthz", "/readyz", "/metrics"},
 		"limits": map[string]any{
 			"max_concurrent":  s.cfg.MaxConcurrent,
 			"max_queue":       s.cfg.MaxQueue,
@@ -313,11 +354,16 @@ func cacheKey(name string, n int, seed int64, kern quad.Kernel, method quad.Meth
 func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	req, err := s.parse(r)
 	if err != nil {
+		s.m.recordOutcome("render", "error")
 		parseError(w, r, err)
 		return
 	}
-	dm, err := req.kdv.RenderEpsInCtx(r.Context(), req.res, req.eps, req.window)
+	dm, st, err := req.kdv.RenderEpsStatsInCtx(r.Context(), req.res, req.eps, req.window)
+	setRenderStats(r, &st)
+	s.m.recordRenderStats("render", st)
 	if err == nil {
+		s.m.recordOutcome("render", "ok")
+		setStatsHeaders(w, st)
 		w.Header().Set("X-KDV-Complete", "true")
 		writeDensityPNG(w, dm, req.logScale)
 		return
@@ -327,12 +373,17 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 		// connected — answer with the progressive partial raster instead
 		// of an error.
 		if pr := s.degraded(r, req); pr != nil {
+			s.m.recordOutcome("render", "degraded")
+			s.m.degraded.Inc()
+			s.m.pixels.AddInt(pr.Evaluated)
+			setStatsHeaders(w, st)
 			w.Header().Set("X-KDV-Complete", strconv.FormatBool(pr.Complete))
 			w.Header().Set("X-KDV-Evaluated", strconv.Itoa(pr.Evaluated))
 			writeDensityPNG(w, pr.Map, req.logScale)
 			return
 		}
 	}
+	s.m.recordOutcome("render", "error")
 	requestError(w, r, err)
 }
 
@@ -359,11 +410,13 @@ func (s *Server) degraded(r *http.Request, req *request) *quad.ProgressiveResult
 func (s *Server) handleHotspots(w http.ResponseWriter, r *http.Request) {
 	req, err := s.parse(r)
 	if err != nil {
+		s.m.recordOutcome("hotspots", "error")
 		parseError(w, r, err)
 		return
 	}
 	tau, err := s.resolveTau(r.Context(), req, r.URL.Query().Get("tau"))
 	if err != nil {
+		s.m.recordOutcome("hotspots", "error")
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			requestError(w, r, err)
 		} else {
@@ -371,16 +424,22 @@ func (s *Server) handleHotspots(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	hm, err := req.kdv.RenderTauInCtx(r.Context(), req.res, tau, req.window)
+	hm, st, err := req.kdv.RenderTauStatsInCtx(r.Context(), req.res, tau, req.window)
+	setRenderStats(r, &st)
+	s.m.recordRenderStats("hotspots", st)
 	if err != nil {
+		s.m.recordOutcome("hotspots", "error")
 		requestError(w, r, err)
 		return
 	}
 	img, err := render.Binary(grid.Resolution{W: hm.Res.W, H: hm.Res.H}, hm.Hot)
 	if err != nil {
+		s.m.recordOutcome("hotspots", "error")
 		requestError(w, r, err)
 		return
 	}
+	s.m.recordOutcome("hotspots", "ok")
+	setStatsHeaders(w, st)
 	w.Header().Set("Content-Type", "image/png")
 	w.Header().Set("X-KDV-Tau", strconv.FormatFloat(tau, 'g', -1, 64))
 	if err := render.EncodePNG(w, img); err != nil {
@@ -419,6 +478,7 @@ func (s *Server) resolveTau(ctx context.Context, req *request, spec string) (flo
 func (s *Server) handleProgressive(w http.ResponseWriter, r *http.Request) {
 	req, err := s.parse(r)
 	if err != nil {
+		s.m.recordOutcome("progressive", "error")
 		parseError(w, r, err)
 		return
 	}
@@ -426,6 +486,7 @@ func (s *Server) handleProgressive(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("budget"); v != "" {
 		budget, err = time.ParseDuration(v)
 		if err != nil || budget <= 0 || budget > time.Minute {
+			s.m.recordOutcome("progressive", "error")
 			writeError(w, http.StatusBadRequest, "bad budget %q (0 < d ≤ 1m)", v)
 			return
 		}
@@ -437,9 +498,13 @@ func (s *Server) handleProgressive(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := req.kdv.RenderProgressiveInCtx(r.Context(), req.res, req.eps, budget, 0, req.window)
 	if err != nil {
+		s.m.recordOutcome("progressive", "error")
 		requestError(w, r, err)
 		return
 	}
+	s.m.recordOutcome("progressive", "ok")
+	s.m.pixels.AddInt(res.Evaluated)
+	s.m.renderSeconds["progressive"].ObserveDuration(res.Elapsed)
 	w.Header().Set("X-KDV-Evaluated", strconv.Itoa(res.Evaluated))
 	w.Header().Set("X-KDV-Complete", strconv.FormatBool(res.Complete))
 	writeDensityPNG(w, res.Map, req.logScale)

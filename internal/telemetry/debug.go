@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugMux builds the side-listener mux every kdv binary can expose with
+// -pprof-addr: net/http/pprof profiles, expvar, and — when reg is non-nil —
+// the Prometheus scrape endpoint. A private mux is used instead of
+// http.DefaultServeMux so importing this package never leaks debug handlers
+// onto an application server.
+func DebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("kdv debug listener\n/debug/pprof/\n/debug/vars\n/metrics\n"))
+	})
+	return mux
+}
+
+// StartDebug binds addr and serves DebugMux(reg) on it in a background
+// goroutine. It returns the bound address (useful with ":0") — the
+// listener lives for the rest of the process, which is the lifetime a
+// profiling side-channel wants.
+func StartDebug(addr string, reg *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{
+		Handler:           DebugMux(reg),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

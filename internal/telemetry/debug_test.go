@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestDebugMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("debug_probe_total", "").Inc()
+	srv := httptest.NewServer(DebugMux(reg))
+	defer srv.Close()
+
+	for _, path := range []string{"/", "/debug/pprof/", "/debug/vars", "/metrics"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+		if path == "/metrics" {
+			if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+				t.Errorf("/metrics Content-Type = %q, want %q", ct, ContentType)
+			}
+			if !strings.Contains(string(body), "debug_probe_total 1") {
+				t.Errorf("/metrics missing counter, got:\n%s", body)
+			}
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /nope = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestStartDebug(t *testing.T) {
+	addr, err := StartDebug("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/vars = %d, want 200", resp.StatusCode)
+	}
+	// Without a registry /metrics must not exist on the side listener.
+	resp, err = http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /metrics without registry = %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// ContentType is the Prometheus text exposition format version served by
+// Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format (version 0.0.4). Families appear in registration
+// order, series within a family in registration order, so output is
+// deterministic for a fixed registration sequence.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	for _, f := range r.fams {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			switch f.kind {
+			case "counter":
+				writeSample(bw, f.name, "", s.labels, "", strconv.FormatUint(s.c.Value(), 10))
+			case "gauge":
+				writeSample(bw, f.name, "", s.labels, "", strconv.FormatInt(s.g.Value(), 10))
+			case "histogram":
+				writeHistogram(bw, f.name, s)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHistogram(w *bufio.Writer, name string, s *series) {
+	h := s.h
+	// Prometheus buckets are cumulative: bucket{le="x"} counts every
+	// observation ≤ x, and le="+Inf" equals the total count.
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.buckets[i].Load()
+		writeSample(w, name, "_bucket", s.labels, `le="`+formatFloat(bound)+`"`, strconv.FormatUint(cum, 10))
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	writeSample(w, name, "_bucket", s.labels, `le="+Inf"`, strconv.FormatUint(cum, 10))
+	writeSample(w, name, "_sum", s.labels, "", formatFloat(h.Sum()))
+	writeSample(w, name, "_count", s.labels, "", strconv.FormatUint(h.Count(), 10))
+}
+
+// writeSample emits one `name{labels,extra} value` line. Either labels or
+// extra may be empty.
+func writeSample(w *bufio.Writer, name, suffix, labels, extra, value string) {
+	w.WriteString(name)
+	w.WriteString(suffix)
+	if labels != "" || extra != "" {
+		w.WriteByte('{')
+		w.WriteString(labels)
+		if labels != "" && extra != "" {
+			w.WriteByte(',')
+		}
+		w.WriteString(extra)
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+func escapeHelp(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+// Handler returns an http.Handler serving the registry as a Prometheus
+// scrape target.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		r.WritePrometheus(w)
+	})
+}

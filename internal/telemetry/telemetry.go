@@ -1,0 +1,341 @@
+// Package telemetry is the zero-dependency observability core of the KDV
+// serving stack: counters, gauges and fixed-bucket histograms behind an
+// atomic registry, exposed in Prometheus text format.
+//
+// Design constraints, in order:
+//
+//  1. The hot path pays nothing it did not ask for. Every mutator is
+//     nil-safe — a nil *Counter / *Gauge / *Histogram is the no-op
+//     recorder, so instrumented code takes one pointer nil-check instead
+//     of an interface call (which would defeat inlining and force the
+//     receiver to escape). Disabled telemetry is therefore a predictable
+//     branch, not a virtual dispatch.
+//  2. Recording never allocates and never locks. Counters and gauges are
+//     single atomic words; a histogram observation is two atomic adds, a
+//     CAS-loop float add, and a branch-free bucket search over a fixed
+//     bound slice. The registry mutex guards only metric registration and
+//     exposition, which are off the request path.
+//  3. Exposition is deterministic: families appear in registration order,
+//     series within a family in registration order, so golden tests can
+//     compare whole scrapes byte for byte.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; a nil Counter is a valid no-op recorder.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// AddInt adds n when positive (work counters arrive as ints).
+func (c *Counter) AddInt(n int) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(uint64(n))
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. The zero value is ready to
+// use; a nil Gauge is a valid no-op recorder.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds d (which may be negative).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// atomicFloat accumulates a float64 with a CAS loop (there is no atomic
+// float add in sync/atomic).
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram. Buckets are defined by ascending
+// upper bounds; an implicit +Inf bucket catches the rest. A nil Histogram
+// is a valid no-op recorder.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1; the last is the +Inf bucket
+	count   atomic.Uint64
+	sum     atomicFloat
+}
+
+// DurationBuckets are the default latency bounds in seconds — 1ms to 30s,
+// roughly logarithmic, matched to interactive render times.
+var DurationBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+func newHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("telemetry: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			return nil, fmt.Errorf("telemetry: histogram bounds not strictly ascending at %d (%g, %g)",
+				i, bounds[i-1], bounds[i])
+		}
+	}
+	return &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}, nil
+}
+
+// Observe records one value. NaN observations are dropped (they would
+// poison the sum and fit no bucket).
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	// First bound ≥ v, i.e. the smallest bucket whose `le` admits v.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.value()
+}
+
+// Label is one name="value" pair attached to a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// series is one labeled time series inside a family.
+type series struct {
+	labels string // canonical `k="v",k2="v2"` render, "" for unlabeled
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups every series sharing one metric name.
+type family struct {
+	name, help, kind string
+	bounds           []float64 // histogram families only
+	series           []*series
+	index            map[string]*series
+}
+
+// Registry holds metric families and renders them as a Prometheus text
+// scrape. Registration is get-or-create: asking twice for the same name and
+// labels returns the same metric, so packages can look their metrics up
+// where they use them.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) getFamily(name, help, kind string) *family {
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, index: make(map[string]*series)}
+		r.byName[name] = f
+		r.fams = append(r.fams, f)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s and %s", name, f.kind, kind))
+	}
+	return f
+}
+
+func (f *family) getSeries(labels []Label) *series {
+	key := renderLabels(labels)
+	if s, ok := f.index[key]; ok {
+		return s
+	}
+	s := &series{labels: key}
+	f.index[key] = s
+	f.series = append(f.series, s)
+	return s
+}
+
+// Counter returns the counter registered under name with the given labels,
+// creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.getFamily(name, help, "counter").getSeries(labels)
+	if s.c == nil {
+		s.c = new(Counter)
+	}
+	return s.c
+}
+
+// Gauge returns the gauge registered under name with the given labels,
+// creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.getFamily(name, help, "gauge").getSeries(labels)
+	if s.g == nil {
+		s.g = new(Gauge)
+	}
+	return s.g
+}
+
+// Histogram returns the histogram registered under name with the given
+// labels, creating it on first use. Every series of one family shares the
+// family's bucket bounds (the bounds of the first registration win); bounds
+// must be strictly ascending.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, "histogram")
+	if f.bounds == nil {
+		f.bounds = append([]float64(nil), bounds...)
+	}
+	s := f.getSeries(labels)
+	if s.h == nil {
+		h, err := newHistogram(f.bounds)
+		if err != nil {
+			panic(fmt.Sprintf("telemetry: %s: %v", name, err))
+		}
+		s.h = h
+	}
+	return s.h
+}
+
+// renderLabels produces the canonical label body (without braces) in the
+// order given, with Prometheus value escaping.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRecordersAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(7)
+	c.AddInt(3)
+	g.Set(5)
+	g.Add(-2)
+	g.Inc()
+	g.Dec()
+	h.Observe(1.5)
+	h.ObserveDuration(0)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil recorders reported non-zero values: %d %d %d %g",
+			c.Value(), g.Value(), h.Count(), h.Sum())
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.AddInt(5)
+	c.AddInt(-3) // negative ints are dropped, not wrapped
+	if got := c.Value(); got != 10 {
+		t.Fatalf("counter = %d, want 10", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	g.Dec()
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h, err := newHistogram([]float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 9, math.NaN()} {
+		h.Observe(v)
+	}
+	// NaN dropped: 6 observations. le=1 admits {0.5, 1}; le=2 adds
+	// {1.5, 2}; le=4 adds {3}; +Inf adds {9}.
+	want := []uint64{2, 2, 1, 1}
+	for i, w := range want {
+		if got := h.buckets[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1+1.5+2+3+9; math.Abs(got-want) > 1e-12 {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	if _, err := newHistogram(nil); err == nil {
+		t.Error("empty bounds accepted")
+	}
+	if _, err := newHistogram([]float64{1, 1}); err == nil {
+		t.Error("non-ascending bounds accepted")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", L("k", "v"))
+	b := r.Counter("x_total", "help", L("k", "v"))
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	c := r.Counter("x_total", "help", L("k", "other"))
+	if a == c {
+		t.Fatal("distinct labels returned the same counter")
+	}
+	h1 := r.Histogram("h_seconds", "", []float64{1, 2}, L("e", "a"))
+	h2 := r.Histogram("h_seconds", "", []float64{9, 99}, L("e", "b"))
+	if len(h2.bounds) != 2 || h2.bounds[0] != 1 {
+		t.Fatalf("second series did not inherit family bounds: %v", h2.bounds)
+	}
+	if h1 == h2 {
+		t.Fatal("distinct labels returned the same histogram")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering m as gauge after counter did not panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+// TestRegistryConcurrency exercises concurrent registration and recording
+// on overlapping names; run under -race it proves the registry and the
+// recorders are safe to share.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("conc_total", "", L("worker", fmt.Sprint(w%4))).Inc()
+				r.Gauge("conc_gauge", "").Add(1)
+				r.Histogram("conc_seconds", "", DurationBuckets).Observe(float64(i) / 1000)
+				var buf strings.Builder
+				if i%100 == 0 {
+					if err := r.WritePrometheus(&buf); err != nil {
+						t.Errorf("WritePrometheus: %v", err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for w := 0; w < 4; w++ {
+		total += r.Counter("conc_total", "", L("worker", fmt.Sprint(w))).Value()
+	}
+	if total != 8*500 {
+		t.Fatalf("counter total = %d, want %d", total, 8*500)
+	}
+	if got := r.Gauge("conc_gauge", "").Value(); got != 8*500 {
+		t.Fatalf("gauge = %d, want %d", got, 8*500)
+	}
+	if got := r.Histogram("conc_seconds", "", DurationBuckets).Count(); got != 8*500 {
+		t.Fatalf("histogram count = %d, want %d", got, 8*500)
+	}
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("kdv_requests_total", "Requests served.", L("endpoint", "render")).Add(3)
+	r.Counter("kdv_requests_total", "Requests served.", L("endpoint", "hotspots")).Add(1)
+	r.Gauge("kdv_in_flight", "In-flight requests.").Set(2)
+	h := r.Histogram("kdv_latency_seconds", "Latency.", []float64{0.1, 0.5})
+	h.Observe(0.05)
+	h.Observe(0.25)
+	h.Observe(2)
+	r.Counter("kdv_escaped_total", "", L("q", `a"b\c`)).Inc()
+
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP kdv_requests_total Requests served.
+# TYPE kdv_requests_total counter
+kdv_requests_total{endpoint="render"} 3
+kdv_requests_total{endpoint="hotspots"} 1
+# HELP kdv_in_flight In-flight requests.
+# TYPE kdv_in_flight gauge
+kdv_in_flight 2
+# HELP kdv_latency_seconds Latency.
+# TYPE kdv_latency_seconds histogram
+kdv_latency_seconds_bucket{le="0.1"} 1
+kdv_latency_seconds_bucket{le="0.5"} 2
+kdv_latency_seconds_bucket{le="+Inf"} 3
+kdv_latency_seconds_sum 2.3
+kdv_latency_seconds_count 3
+# TYPE kdv_escaped_total counter
+kdv_escaped_total{q="a\"b\\c"} 1
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -3,6 +3,7 @@ package quad
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -229,9 +230,16 @@ func putHot(h []bool) {
 	hotPool.Put(&h)
 }
 
+// renderDepthBuckets is the number of refinement-depth buckets in
+// RenderStats.DepthPixels: bucket 0 holds pixels settled with zero queue
+// pops, bucket d (1 ≤ d < 8) pixels settled in [2^(d-1), 2^d) pops, and the
+// last bucket everything deeper.
+const renderDepthBuckets = 9
+
 // RenderStats aggregates the work one render performed across all workers —
 // the observability behind the benchmarks' ns/pixel and nodes/pixel
-// trajectories.
+// trajectories, and the payload of the server's X-KDV-Stats-* headers and
+// slow-query log.
 type RenderStats struct {
 	// Pixels is the number of pixels evaluated.
 	Pixels int
@@ -241,13 +249,25 @@ type RenderStats struct {
 	// SharedNodeEvals counts tile-uniform bound evaluations (shared phase
 	// and frontier promotions), amortized over each tile's pixels.
 	SharedNodeEvals int
+	// FrontierPromotions counts the frontier expansions triggered by the
+	// coherence signal (promoteHits adjacent pixels expanding the same
+	// node) during per-pixel refinement.
+	FrontierPromotions int
 	// Iterations, NodesEvaluated, LeafScans and PointsScanned are the
 	// per-pixel refinement counters summed over every pixel (see
 	// engine.Stats).
 	Iterations, NodesEvaluated, LeafScans, PointsScanned int
+	// DepthPixels histograms refined pixels by queue pops needed to settle
+	// them: bucket 0 is zero pops (the warm-started frontier already decided
+	// the pixel), bucket d is [2^(d-1), 2^d) pops, the last bucket is
+	// everything deeper. Pixels filled from decided tile envelopes do not
+	// appear here, so the sum can be below Pixels.
+	DepthPixels [renderDepthBuckets]int
 	// Elapsed is the render's wall-clock time (set by the *Stats render
-	// entry points).
-	Elapsed time.Duration
+	// entry points). SharedElapsed is the time spent building tile/sub-tile
+	// frontiers, summed across workers — CPU time of the shared stage, not
+	// wall time (promotion work is counted in the per-pixel remainder).
+	Elapsed, SharedElapsed time.Duration
 }
 
 // NodesPerPixel returns bound evaluations per pixel, counting the shared
@@ -264,18 +284,53 @@ func (s *RenderStats) addPixel(st engine.Stats) {
 	s.NodesEvaluated += st.NodesEvaluated
 	s.LeafScans += st.LeafScans
 	s.PointsScanned += st.PointsScanned
+	d := bits.Len(uint(st.Iterations))
+	if d >= renderDepthBuckets {
+		d = renderDepthBuckets - 1
+	}
+	s.DepthPixels[d]++
 }
 
 func (s *RenderStats) addShared(st engine.Stats) { s.SharedNodeEvals += st.NodesEvaluated }
+
+// addPromote records a Promote result: promotions re-evaluate bounds for
+// the expanded node's children, so a non-zero eval count means exactly one
+// promotion happened.
+func (s *RenderStats) addPromote(st engine.Stats) {
+	if st.NodesEvaluated > 0 {
+		s.SharedNodeEvals += st.NodesEvaluated
+		s.FrontierPromotions++
+	}
+}
+
+// sharedStart marks the start of a shared-stage timing window; it costs
+// nothing unless the render is collecting stats.
+func sharedStart(timed bool) time.Time {
+	if !timed {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (s *RenderStats) endShared(timed bool, t0 time.Time) {
+	if timed {
+		s.SharedElapsed += time.Since(t0)
+	}
+}
 
 func (s *RenderStats) merge(o RenderStats) {
 	s.Tiles += o.Tiles
 	s.TilesDecided += o.TilesDecided
 	s.SharedNodeEvals += o.SharedNodeEvals
+	s.FrontierPromotions += o.FrontierPromotions
 	s.Iterations += o.Iterations
 	s.NodesEvaluated += o.NodesEvaluated
 	s.LeafScans += o.LeafScans
 	s.PointsScanned += o.PointsScanned
+	for i, n := range o.DepthPixels {
+		s.DepthPixels[i] += n
+	}
+	s.SharedElapsed += o.SharedElapsed
 }
 
 // renderPass describes one full-raster evaluation: εKDV (density values) or
@@ -403,6 +458,9 @@ func (k *KDV) newTileRunner(ctx context.Context, g *grid.Grid, size int, pass re
 		return nil, nil, err
 	}
 	cleanup = func() { k.releaseRenderScratch(s) }
+	// Shared-stage wall time is only measured when the caller asked for
+	// stats; plain renders skip every clock read.
+	timed := pass.stats != nil
 	if size < 2 {
 		// Tile sharing disabled: the paper's per-pixel refinement from the
 		// root, kept as the WithTileSize(1) baseline.
@@ -458,7 +516,7 @@ func (k *KDV) newTileRunner(ctx context.Context, g *grid.Grid, size int, pass re
 				}
 				vals[g.Index(x, y)] = v
 				local.addPixel(st)
-				local.addShared(s.te.Promote(f))
+				local.addPromote(s.te.Promote(f))
 				if x == x1 {
 					break
 				}
@@ -496,16 +554,22 @@ func (k *KDV) newTileRunner(ctx context.Context, g *grid.Grid, size int, pass re
 		rect := s.tileRect(g, t)
 		local.Tiles++
 		if pass.isTau {
+			t0 := sharedStart(timed)
 			local.addShared(s.te.BuildFrontierTau(rect, pass.tau, &s.frontier))
+			local.endShared(timed, t0)
 			if s.frontier.Decided {
 				local.TilesDecided++
 				fill(t, s.frontier.Hot, vals)
 				return
 			}
 		} else if size <= subTileSize {
+			t0 := sharedStart(timed)
 			local.addShared(s.te.BuildFrontierEps(rect, pass.eps, &s.frontier))
+			local.endShared(timed, t0)
 		} else {
+			t0 := sharedStart(timed)
 			outSt := s.te.BuildFrontierEpsCoarse(rect, pass.eps, &s.frontier)
+			local.endShared(timed, t0)
 			local.addShared(outSt)
 			// Adaptive probe: build the first sub-frontier and evaluate the
 			// tile's first pixel both warm-started and from the root. Dense
@@ -524,7 +588,9 @@ func (k *KDV) newTileRunner(ctx context.Context, g *grid.Grid, size int, pass re
 			}
 			first := tileSpan{t.x0, t.y0, fx1, fy1}
 			srect := s.tileRect(g, first)
+			t0 = sharedStart(timed)
 			subSt := s.te.BuildFrontierEpsFrom(&s.frontier, srect, pass.eps, &s.sub)
+			local.endShared(timed, t0)
 			local.addShared(subSt)
 			g.Query(t.x0, t.y0, s.q)
 			_, warmSt := s.te.EvalEpsFrom(&s.sub, s.q, pass.eps)
@@ -554,7 +620,9 @@ func (k *KDV) newTileRunner(ctx context.Context, g *grid.Grid, size int, pass re
 					}
 					sub := tileSpan{sx, sy, sx1, sy1}
 					srect := s.tileRect(g, sub)
+					t0 := sharedStart(timed)
 					local.addShared(s.te.BuildFrontierEpsFrom(&s.frontier, srect, pass.eps, &s.sub))
+					local.endShared(timed, t0)
 					runPixels(sub, &s.sub, vals)
 				}
 			}
@@ -580,7 +648,9 @@ func (k *KDV) newTileRunner(ctx context.Context, g *grid.Grid, size int, pass re
 				}
 				sub := tileSpan{sx, sy, sx1, sy1}
 				srect := s.tileRect(g, sub)
+				t0 := sharedStart(timed)
 				local.addShared(s.te.BuildFrontierTauFrom(&s.frontier, srect, pass.tau, &s.sub))
+				local.endShared(timed, t0)
 				if s.sub.Decided {
 					local.TilesDecided++
 					fill(sub, s.sub.Hot, vals)
@@ -707,9 +777,17 @@ func (k *KDV) RenderEpsInCtx(ctx context.Context, res Resolution, eps float64, w
 // RenderEpsStats is RenderEps additionally reporting the render's work
 // counters — the observability hook behind the repo's benchmarks.
 func (k *KDV) RenderEpsStats(res Resolution, eps float64) (*DensityMap, RenderStats, error) {
+	return k.RenderEpsStatsInCtx(context.Background(), res, eps, Window{})
+}
+
+// RenderEpsStatsInCtx is RenderEpsInCtx additionally reporting the render's
+// work counters — the form the server uses for X-KDV-Stats-* headers and
+// the slow-query log. On error the stats still describe the work done
+// before the render stopped.
+func (k *KDV) RenderEpsStatsInCtx(ctx context.Context, res Resolution, eps float64, win Window) (*DensityMap, RenderStats, error) {
 	var st RenderStats
 	start := time.Now()
-	dm, err := k.renderEpsIn(context.Background(), res, eps, Window{}, &st)
+	dm, err := k.renderEpsIn(ctx, res, eps, win, &st)
 	st.Elapsed = time.Since(start)
 	return dm, st, err
 }
@@ -758,9 +836,15 @@ func (k *KDV) RenderTauInCtx(ctx context.Context, res Resolution, tau float64, w
 // RenderTauStats is RenderTau additionally reporting the render's work
 // counters (see RenderEpsStats).
 func (k *KDV) RenderTauStats(res Resolution, tau float64) (*HotspotMap, RenderStats, error) {
+	return k.RenderTauStatsInCtx(context.Background(), res, tau, Window{})
+}
+
+// RenderTauStatsInCtx is RenderTauInCtx additionally reporting the render's
+// work counters (see RenderEpsStatsInCtx).
+func (k *KDV) RenderTauStatsInCtx(ctx context.Context, res Resolution, tau float64, win Window) (*HotspotMap, RenderStats, error) {
 	var st RenderStats
 	start := time.Now()
-	hm, err := k.renderTauIn(context.Background(), res, tau, Window{}, &st)
+	hm, err := k.renderTauIn(ctx, res, tau, win, &st)
 	st.Elapsed = time.Since(start)
 	return hm, st, err
 }

@@ -1,6 +1,7 @@
 package quad
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -198,6 +199,68 @@ func TestRenderStatsCounters(t *testing.T) {
 	}
 	if tst.Pixels != res.W*res.H || tst.Tiles == 0 {
 		t.Errorf("τKDV stats incomplete: %+v", tst)
+	}
+}
+
+// TestRenderStatsDepthAndStages checks the PR4 stats additions: the
+// refinement-depth histogram accounts for every refined pixel, the shared
+// stage records wall time, and the ctx-aware Stats entry points populate
+// everything the header/slow-query plumbing reads.
+func TestRenderStatsDepthAndStages(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	cloud := testCloud(rng, 600)
+	res := Resolution{W: 64, H: 48}
+	k, err := NewFromPoints(cloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, st, err := k.RenderEpsStatsInCtx(context.Background(), res, 0.05, Window{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var depth int
+	for _, n := range st.DepthPixels {
+		depth += n
+	}
+	// εKDV renders refine every pixel (fills happen only for decided τ
+	// tiles), so the depth histogram must cover the whole raster.
+	if depth != st.Pixels {
+		t.Errorf("sum(DepthPixels) = %d, want Pixels = %d (%v)", depth, st.Pixels, st.DepthPixels)
+	}
+	if st.SharedElapsed <= 0 || st.SharedElapsed > st.Elapsed*64 {
+		// SharedElapsed is summed across workers, so it may exceed wall
+		// time — but not by more than the worker count.
+		t.Errorf("SharedElapsed implausible: shared %v vs elapsed %v", st.SharedElapsed, st.Elapsed)
+	}
+
+	_, tst, err := k.RenderTauStatsInCtx(context.Background(), res, 0.02, Window{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tdepth int
+	for _, n := range tst.DepthPixels {
+		tdepth += n
+	}
+	// τKDV fills decided tiles without refining their pixels.
+	if tdepth > tst.Pixels {
+		t.Errorf("τ sum(DepthPixels) = %d > Pixels = %d", tdepth, tst.Pixels)
+	}
+	if tst.TilesDecided > 0 && tdepth == tst.Pixels {
+		t.Errorf("decided tiles recorded per-pixel depth entries: %+v", tst)
+	}
+
+	// Per-pixel baseline: no shared stage, no promotions, full depth cover.
+	pp, err := NewFromPoints(cloud, WithTileSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pst, err := pp.RenderEpsStatsInCtx(context.Background(), res, 0.05, Window{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pst.SharedElapsed != 0 || pst.FrontierPromotions != 0 {
+		t.Errorf("per-pixel baseline recorded shared stage work: %+v", pst)
 	}
 }
 

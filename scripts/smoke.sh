@@ -1,0 +1,53 @@
+#!/bin/sh
+# Smoke test of the serving stack: boot kdvserve, wait for /readyz to flip
+# green, render once, and assert /metrics recorded the work. Exercises the
+# telemetry path end to end on a real listener, which unit tests cannot.
+set -eu
+
+ADDR="${SMOKE_ADDR:-127.0.0.1:18080}"
+BASE="http://$ADDR"
+BIN="$(mktemp -d)/kdvserve"
+LOG="$(mktemp)"
+
+cleanup() {
+    [ -n "${SRV_PID:-}" ] && kill "$SRV_PID" 2>/dev/null || true
+    [ -n "${SRV_PID:-}" ] && wait "$SRV_PID" 2>/dev/null || true
+    rm -f "$BIN" "$LOG"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$BIN" ./cmd/kdvserve
+"$BIN" -addr "$ADDR" -n 3000 -slow-query 1ns >"$LOG" 2>&1 &
+SRV_PID=$!
+
+# Readiness must flip to 200 once the warmup build lands.
+ready=""
+for _ in $(seq 1 120); do
+    code="$(curl -s -o /dev/null -w '%{http_code}' "$BASE/readyz" || true)"
+    if [ "$code" = 200 ]; then ready=1; break; fi
+    kill -0 "$SRV_PID" 2>/dev/null || { echo "smoke: kdvserve died"; cat "$LOG"; exit 1; }
+    sleep 0.5
+done
+[ -n "$ready" ] || { echo "smoke: /readyz never reached 200"; cat "$LOG"; exit 1; }
+echo "smoke: /readyz ready"
+
+# One render; the default-parameter request must hit the warmup build.
+curl -sf "$BASE/render?dataset=crime&res=64x48&eps=0.05" -o /dev/null \
+    || { echo "smoke: /render failed"; cat "$LOG"; exit 1; }
+echo "smoke: /render ok"
+
+METRICS="$(curl -sf "$BASE/metrics")"
+echo "$METRICS" | grep -q 'kdv_render_requests_total{endpoint="render",outcome="ok"} [1-9]' \
+    || { echo "smoke: kdv_render_requests_total not incremented"; echo "$METRICS" | head -40; exit 1; }
+echo "$METRICS" | grep -q 'kdv_cache_hits_total [1-9]' \
+    || { echo "smoke: render did not hit the warmup cache"; exit 1; }
+echo "$METRICS" | grep -q '^kdv_ready 1$' \
+    || { echo "smoke: kdv_ready gauge not set"; exit 1; }
+echo "smoke: /metrics recorded the render"
+
+# The slow-query log (threshold 1ns) must have captured it, with stats.
+grep -q '"path":"/render"' "$LOG" \
+    || { echo "smoke: slow-query log missing /render entry"; cat "$LOG"; exit 1; }
+echo "smoke: slow-query log populated"
+
+echo "smoke: PASS"
