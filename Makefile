@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test vet fmt race verify fuzz bench smoke clean
+.PHONY: build test vet fmt race verify fuzz bench bench-compare smoke clean
 
 build:
 	$(GO) build ./...
@@ -42,13 +42,21 @@ fuzz:
 	$(GO) test ./internal/kdtree -run='^$$' -fuzz='^FuzzBuildInvariants$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/bounds -run='^$$' -fuzz='^FuzzEvaluatorBounds$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/bounds -run='^$$' -fuzz='^FuzzRectBounds$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/trace -run='^$$' -fuzz='^FuzzParseTraceparent$$' -fuzztime=$(FUZZTIME)
 
-# bench regenerates BENCH_PR4.json: the tile-shared traversal's speedup and
+# bench regenerates BENCH_PR5.json: the tile-shared traversal's speedup and
 # node-evaluation reduction over the per-pixel baseline (εKDV + τKDV,
-# crime analogue at 30k points, 256² and 512²), plus the telemetry-overhead
-# delta of stats collection vs the no-op recorder.
+# crime analogue at 30k points, 256² and 512²), plus the telemetry- and
+# tracing-overhead deltas against the uninstrumented paths.
 bench:
-	$(GO) run ./cmd/kdvbench -json BENCH_PR4.json -jsonn 30000
+	$(GO) run ./cmd/kdvbench -json BENCH_PR5.json -jsonn 30000
+
+# bench-compare is the regression gate: diff the newest checked-in baseline
+# against its predecessor. Deterministic work counters (nodes/pixel) get a
+# 5% budget, wall-clock cells 25%, instrumentation overheads 2% absolute;
+# exits non-zero on any regression.
+bench-compare:
+	$(GO) run ./cmd/kdvbench -compare BENCH_PR4.json BENCH_PR5.json
 
 # smoke boots kdvserve, waits for /readyz, renders once, and asserts the
 # /metrics scrape saw the work — the end-to-end check of the telemetry path.

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Thresholds of the bench-regression gate. Timing cells are noisy on
+// shared CI machines, so ns/pixel gets a wide tolerance; per-pixel node
+// evaluations are deterministic for a fixed seed, so their budget is
+// tight — a traversal regression shows up there long before it is
+// distinguishable from timer noise. The overhead numbers are the PR4/PR5
+// acceptance criteria and are gated absolutely, not against the old file.
+const (
+	nsPerPixelTolerancePct    = 25.0
+	nodesPerPixelTolerancePct = 5.0
+	overheadBudgetPct         = 2.0
+)
+
+// cellKey identifies a measured configuration across two reports.
+type cellKey struct {
+	Variant, Res, Mode string
+}
+
+func (k cellKey) String() string { return k.Variant + "/" + k.Res + "/" + k.Mode }
+
+// loadReport reads a kdvbench -json artifact.
+func loadReport(path string) (*jsonReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compareReports diffs two -json reports cell by cell and checks the new
+// report's overhead numbers against their absolute budgets. It prints a
+// verdict line per check to out and returns the number of regressions.
+func compareReports(out io.Writer, oldRep, newRep *jsonReport) int {
+	index := func(rep *jsonReport) map[cellKey]jsonCell {
+		m := make(map[cellKey]jsonCell, len(rep.Cells))
+		for _, c := range rep.Cells {
+			m[cellKey{c.Variant, c.Res, c.Mode}] = c
+		}
+		return m
+	}
+	oldCells, newCells := index(oldRep), index(newRep)
+
+	regressions := 0
+	fail := func(format string, args ...any) {
+		regressions++
+		fmt.Fprintf(out, "FAIL "+format+"\n", args...)
+	}
+	// Cells measured under different configurations differ for reasons that
+	// have nothing to do with the code; refuse the comparison outright
+	// rather than report fabricated regressions.
+	for _, c := range []struct {
+		field    string
+		old, new any
+	}{
+		{"dataset", oldRep.Dataset, newRep.Dataset},
+		{"n", oldRep.N, newRep.N},
+		{"kernel", oldRep.Kernel, newRep.Kernel},
+		{"method", oldRep.Method, newRep.Method},
+		{"eps", oldRep.Eps, newRep.Eps},
+		{"tau_sigma", oldRep.TauSigma, newRep.TauSigma},
+		{"tile_size", oldRep.TileSize, newRep.TileSize},
+	} {
+		if c.old != c.new {
+			fail("config %-10s %v → %v (reports are not comparable)", c.field, c.old, c.new)
+		}
+	}
+	if regressions > 0 {
+		return regressions
+	}
+
+	keys := make([]cellKey, 0, len(oldCells))
+	for k := range oldCells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+
+	check := func(key cellKey, metric string, oldV, newV, tolerancePct float64) {
+		if oldV <= 0 {
+			fmt.Fprintf(out, "skip %-22s %-14s old value %.3g not comparable\n", key, metric, oldV)
+			return
+		}
+		deltaPct := (newV - oldV) / oldV * 100
+		if deltaPct > tolerancePct {
+			fail("%-22s %-14s %10.2f → %-10.2f %+.1f%% (budget +%.0f%%)",
+				key, metric, oldV, newV, deltaPct, tolerancePct)
+			return
+		}
+		fmt.Fprintf(out, "ok   %-22s %-14s %10.2f → %-10.2f %+.1f%%\n",
+			key, metric, oldV, newV, deltaPct)
+	}
+
+	for _, k := range keys {
+		oc := oldCells[k]
+		nc, ok := newCells[k]
+		if !ok {
+			fail("%-22s missing from the new report (coverage lost)", k)
+			continue
+		}
+		check(k, "ns_per_pixel", oc.NsPerPixel, nc.NsPerPixel, nsPerPixelTolerancePct)
+		check(k, "nodes_per_pixel", oc.NodesPerPixel, nc.NodesPerPixel, nodesPerPixelTolerancePct)
+	}
+	for k := range newCells {
+		if _, ok := oldCells[k]; !ok {
+			fmt.Fprintf(out, "new  %-22s (no baseline; not compared)\n", k)
+		}
+	}
+
+	if o := newRep.TelemetryOverhead; o != nil {
+		if o.DeltaPct > overheadBudgetPct {
+			fail("telemetry overhead %+.2f%% exceeds the %.0f%% budget", o.DeltaPct, overheadBudgetPct)
+		} else {
+			fmt.Fprintf(out, "ok   telemetry overhead %+.2f%% (budget %.0f%%)\n", o.DeltaPct, overheadBudgetPct)
+		}
+	}
+	if o := newRep.TracingOverhead; o != nil {
+		if o.OffDeltaPct > overheadBudgetPct {
+			fail("tracing disabled-path overhead %+.2f%% exceeds the %.0f%% budget", o.OffDeltaPct, overheadBudgetPct)
+		} else {
+			fmt.Fprintf(out, "ok   tracing disabled-path overhead %+.2f%% (budget %.0f%%)\n", o.OffDeltaPct, overheadBudgetPct)
+		}
+	}
+	return regressions
+}
+
+// runCompare is the bench-regression gate: kdvbench -compare old.json
+// new.json. Exit status 1 means at least one regression.
+func runCompare(oldPath, newPath string) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	if n := compareReports(os.Stdout, oldRep, newRep); n > 0 {
+		return fmt.Errorf("%d regression(s) against %s", n, oldPath)
+	}
+	fmt.Printf("no regressions against %s\n", oldPath)
+	return nil
+}

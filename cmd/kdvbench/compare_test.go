@@ -1,0 +1,87 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func baselineReport() *jsonReport {
+	return &jsonReport{
+		Dataset: "crime",
+		Cells: []jsonCell{
+			{Variant: "eps", Res: "256x256", Mode: "tile", NsPerPixel: 1000, NodesPerPixel: 8.0},
+			{Variant: "eps", Res: "256x256", Mode: "perpixel", NsPerPixel: 4000, NodesPerPixel: 40.0},
+			{Variant: "tau", Res: "256x256", Mode: "tile", NsPerPixel: 800, NodesPerPixel: 6.0},
+		},
+		TelemetryOverhead: &telemetryOverhead{DeltaPct: 0.5},
+		TracingOverhead:   &tracingOverhead{OffDeltaPct: 0.5},
+	}
+}
+
+// TestCompareAcceptsEquivalentRun: identical numbers (plus noise inside the
+// tolerances) must pass.
+func TestCompareAcceptsEquivalentRun(t *testing.T) {
+	oldRep, newRep := baselineReport(), baselineReport()
+	newRep.Cells[0].NsPerPixel *= 1.20    // inside the 25% timing tolerance
+	newRep.Cells[0].NodesPerPixel *= 1.04 // inside the 5% work tolerance
+	var out strings.Builder
+	if n := compareReports(&out, oldRep, newRep); n != 0 {
+		t.Fatalf("equivalent run flagged %d regression(s):\n%s", n, out.String())
+	}
+}
+
+// TestComparePlantedRegressions is the gate's self-test: a planted timing
+// regression, a planted traversal-work regression, a lost cell, and a
+// blown overhead budget must each be caught.
+func TestComparePlantedRegressions(t *testing.T) {
+	cases := []struct {
+		name  string
+		plant func(rep *jsonReport)
+		want  string
+	}{
+		{"timing", func(rep *jsonReport) { rep.Cells[0].NsPerPixel *= 1.50 }, "ns_per_pixel"},
+		{"work", func(rep *jsonReport) { rep.Cells[1].NodesPerPixel *= 1.10 }, "nodes_per_pixel"},
+		{"lost cell", func(rep *jsonReport) { rep.Cells = rep.Cells[:2] }, "missing from the new report"},
+		{"telemetry overhead", func(rep *jsonReport) { rep.TelemetryOverhead.DeltaPct = 3.1 }, "telemetry overhead"},
+		{"tracing overhead", func(rep *jsonReport) { rep.TracingOverhead.OffDeltaPct = 2.5 }, "tracing disabled-path overhead"},
+		{"config mismatch", func(rep *jsonReport) { rep.N = 12345 }, "not comparable"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			newRep := baselineReport()
+			tc.plant(newRep)
+			var out strings.Builder
+			n := compareReports(&out, baselineReport(), newRep)
+			if n == 0 {
+				t.Fatalf("planted %s regression not caught:\n%s", tc.name, out.String())
+			}
+			if !strings.Contains(out.String(), tc.want) {
+				t.Fatalf("verdicts missing %q:\n%s", tc.want, out.String())
+			}
+		})
+	}
+}
+
+// TestCompareEndToEnd exercises the file-loading path runCompare uses,
+// including the non-nil error (→ non-zero exit) on a planted regression.
+func TestCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	writeReport := func(name string, rep *jsonReport) string {
+		t.Helper()
+		path := dir + "/" + name
+		if err := writeJSON(path, rep); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := writeReport("old.json", baselineReport())
+	newRep := baselineReport()
+	newRep.Cells[2].NodesPerPixel *= 2 // planted regression
+	newPath := writeReport("new.json", newRep)
+	if err := runCompare(oldPath, oldPath); err != nil {
+		t.Fatalf("self-compare: %v", err)
+	}
+	if err := runCompare(oldPath, newPath); err == nil {
+		t.Fatal("planted regression: runCompare returned nil")
+	}
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -9,6 +10,7 @@ import (
 
 	quad "github.com/quadkdv/quad"
 	"github.com/quadkdv/quad/internal/dataset"
+	"github.com/quadkdv/quad/internal/trace"
 )
 
 // jsonCell is one measured render configuration in the -json report.
@@ -48,6 +50,11 @@ type jsonReport struct {
 	// TelemetryOverhead measures stats collection against the no-op path —
 	// the PR4 acceptance number (delta must stay ≤ 2%).
 	TelemetryOverhead *telemetryOverhead `json:"telemetry_overhead,omitempty"`
+	// TracingOverhead measures the span-instrumented render entry points
+	// under a disabled trace (plain context, nil *trace.Trace) against a
+	// trace-carrying context. The disabled delta is the PR5 acceptance
+	// number (must stay ≤ 2%): tracing must cost nothing when off.
+	TracingOverhead *tracingOverhead `json:"tracing_overhead,omitempty"`
 }
 
 // telemetryOverhead compares the plain render entry point (nil stats
@@ -62,6 +69,69 @@ type telemetryOverhead struct {
 	// DeltaPct is (stats − nostats)/nostats × 100; negative means noise
 	// favored the stats side.
 	DeltaPct float64 `json:"delta_pct"`
+}
+
+// tracingOverhead compares three render paths on an identical render:
+// the stats entry point without a context (the PR4 shape), the
+// context-aware entry point with a plain context (tracing present but
+// disabled — the default serving path), and the same entry point under a
+// trace-carrying context (every span recorded). Best-of-rounds on each
+// side, interleaved, so scheduler noise hits all three alike.
+type tracingOverhead struct {
+	Res      string  `json:"res"`
+	Rounds   int     `json:"rounds"`
+	StatsMS  float64 `json:"render_ms_stats"`
+	OffMS    float64 `json:"render_ms_tracing_off"`
+	TracedMS float64 `json:"render_ms_traced"`
+	// OffDeltaPct is (off − stats)/stats × 100: what the tracing plumbing
+	// costs when no trace is attached. This is the gated number.
+	OffDeltaPct float64 `json:"off_delta_pct"`
+	// TracedDeltaPct is (traced − stats)/stats × 100: the price of a fully
+	// recorded trace. Informational, not gated.
+	TracedDeltaPct float64 `json:"traced_delta_pct"`
+}
+
+// measureTracingOverhead interleaves rounds of the three paths and keeps
+// each side's best time.
+func measureTracingOverhead(k *quad.KDV, res quad.Resolution, eps float64, rounds int) (*tracingOverhead, error) {
+	best := func(cur, v float64) float64 {
+		if cur == 0 || v < cur {
+			return v
+		}
+		return cur
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+	o := &tracingOverhead{Res: res.String(), Rounds: rounds}
+	plain := context.Background()
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		dm, _, err := k.RenderEpsStats(res, eps)
+		if err != nil {
+			return nil, err
+		}
+		dm.Release()
+		o.StatsMS = best(o.StatsMS, ms(time.Since(start)))
+
+		start = time.Now()
+		dm, _, err = k.RenderEpsStatsInCtx(plain, res, eps, quad.Window{})
+		if err != nil {
+			return nil, err
+		}
+		dm.Release()
+		o.OffMS = best(o.OffMS, ms(time.Since(start)))
+
+		traced := trace.NewContext(context.Background(), trace.New())
+		start = time.Now()
+		dm, _, err = k.RenderEpsStatsInCtx(traced, res, eps, quad.Window{})
+		if err != nil {
+			return nil, err
+		}
+		dm.Release()
+		o.TracedMS = best(o.TracedMS, ms(time.Since(start)))
+	}
+	o.OffDeltaPct = (o.OffMS - o.StatsMS) / o.StatsMS * 100
+	o.TracedDeltaPct = (o.TracedMS - o.StatsMS) / o.StatsMS * 100
+	return o, nil
 }
 
 // measureTelemetryOverhead interleaves rounds of the two entry points and
@@ -200,15 +270,32 @@ func runJSONBench(path string, seed int64, n int) error {
 	rep.TelemetryOverhead = over
 	fmt.Printf("telemetry overhead @ %s: nostats %.1f ms, stats %.1f ms (%+.2f%%)\n",
 		over.Res, over.NoStatsMS, over.StatsMS, over.DeltaPct)
-
-	out, err := json.MarshalIndent(&rep, "", "  ")
+	// More rounds than the telemetry pair: the stats and tracing-off sides
+	// run identical machine code (the stats entry point delegates to the
+	// context one), so the true delta is ~0 and best-of needs more samples
+	// for scheduler noise to wash out of a 2%-budget measurement.
+	tro, err := measureTracingOverhead(tiled, quad.Resolution{W: 512, H: 512}, eps, 6)
 	if err != nil {
 		return err
 	}
-	out = append(out, '\n')
-	if err := os.WriteFile(path, out, 0o644); err != nil {
+	rep.TracingOverhead = tro
+	fmt.Printf("tracing overhead @ %s: stats %.1f ms, off %.1f ms (%+.2f%%), traced %.1f ms (%+.2f%%)\n",
+		tro.Res, tro.StatsMS, tro.OffMS, tro.OffDeltaPct, tro.TracedMS, tro.TracedDeltaPct)
+
+	if err := writeJSON(path, &rep); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)
 	return nil
+}
+
+// writeJSON writes v pretty-printed with a trailing newline, the artifact
+// format of the checked-in BENCH_*.json baselines.
+func writeJSON(path string, v any) error {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	return os.WriteFile(path, out, 0o644)
 }

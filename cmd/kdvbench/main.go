@@ -8,6 +8,8 @@
 //	kdvbench -exp all                # the whole evaluation
 //	kdvbench -exp fig2 -out results  # experiments that emit PNGs
 //	kdvbench -full                   # paper-scale datasets/resolutions
+//	kdvbench -json bench.json        # machine-readable render benchmark
+//	kdvbench -compare old.json bench.json  # regression gate (exit 1 on fail)
 //
 // The default configuration is scaled for a single-core machine; cells that
 // exceed -timeout are measured on a pixel prefix and extrapolated (printed
@@ -39,9 +41,21 @@ func main() {
 		sizes    = flag.String("sizes", "", "override dataset sizes, e.g. crime=100000,hep=500000")
 		jsonPath = flag.String("json", "", "measure tile-shared vs per-pixel rendering and write a JSON report to this path")
 		jsonN    = flag.Int("jsonn", 100000, "dataset cardinality for the -json benchmark")
+		compare  = flag.String("compare", "", "regression gate: diff this baseline -json report against the report named by the positional argument; exits 1 on regression")
 		pprof    = flag.String("pprof-addr", "", "side listener for net/http/pprof and expvar (empty disables)")
 	)
 	flag.Parse()
+
+	if *compare != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "kdvbench: -compare old.json new.json (exactly one positional argument)")
+			os.Exit(2)
+		}
+		if err := runCompare(*compare, flag.Arg(0)); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *pprof != "" {
 		bound, err := telemetry.StartDebug(*pprof, nil)

@@ -7,9 +7,12 @@
 //	kdvrender -gen crime -n 100000 -o heat.png                 # synthetic
 //	kdvrender -gen home -tau mu+0.1 -o hotspots.png            # τKDV map
 //	kdvrender -gen crime -progressive 500ms -o quick.png       # budgeted
+//	kdvrender -gen crime -workmap evals -o heat.png            # + work map
+//	kdvrender -gen crime -trace render.trace.json -o heat.png  # + Perfetto
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +23,7 @@ import (
 	quad "github.com/quadkdv/quad"
 	"github.com/quadkdv/quad/internal/dataset"
 	"github.com/quadkdv/quad/internal/telemetry"
+	"github.com/quadkdv/quad/internal/trace"
 )
 
 func main() {
@@ -38,6 +42,9 @@ func main() {
 		logScale = flag.Bool("log", true, "logarithmic color scale")
 		windowF  = flag.String("window", "", "pan/zoom window minX,minY,maxX,maxY (default: dataset bounds)")
 		pprof    = flag.String("pprof-addr", "", "side listener for net/http/pprof and expvar (empty disables)")
+		workmapF = flag.String("workmap", "", "also write a per-pixel work-map PNG: depth|evals|gap")
+		workmapO = flag.String("workmap-o", "", "work-map output path (default: -o with a .workmap.png suffix)")
+		traceOut = flag.String("trace", "", "write the render's spans as a Chrome trace-event JSON file (load in Perfetto or chrome://tracing)")
 	)
 	flag.Parse()
 
@@ -74,6 +81,26 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "kdvrender: %d points, kernel=%s method=%s γ=%.4g\n", k.Len(), kern, m, k.Gamma())
 
+	var layer quad.WorkMapLayer
+	if *workmapF != "" {
+		layer, err = quad.ParseWorkMapLayer(*workmapF)
+		if err != nil {
+			fatal(err)
+		}
+		if *progress > 0 {
+			fatal(fmt.Errorf("-workmap needs a full render; drop -progressive"))
+		}
+		if *workmapO == "" {
+			*workmapO = strings.TrimSuffix(*out, ".png") + ".workmap.png"
+		}
+	}
+	ctx := context.Background()
+	var tr *trace.Trace
+	if *traceOut != "" {
+		tr = trace.New()
+		ctx = trace.NewContext(ctx, tr)
+	}
+
 	start := time.Now()
 	switch {
 	case *tauSpec != "":
@@ -81,7 +108,16 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		hm, err := k.RenderTauIn(res, tau, window)
+		var hm *quad.HotspotMap
+		if layer != "" {
+			var wm *quad.WorkMap
+			hm, wm, _, err = k.RenderTauWorkMapInCtx(ctx, res, tau, window)
+			if err == nil {
+				err = saveWorkMap(wm, layer, *workmapO)
+			}
+		} else {
+			hm, _, err = k.RenderTauStatsInCtx(ctx, res, tau, window)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -91,7 +127,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kdvrender: τ=%.4g, %.1f%% hot, %s → %s\n",
 			tau, hm.HotFraction()*100, time.Since(start).Round(time.Millisecond), *out)
 	case *progress > 0:
-		r, err := k.RenderProgressive(res, *eps, *progress, 0)
+		// Streaming form so a trace decomposes the run into per-level spans.
+		r, err := k.RenderProgressiveStreamCtx(ctx, res, *eps, *progress, func(quad.Snapshot) bool { return true })
 		if err != nil {
 			fatal(err)
 		}
@@ -101,7 +138,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kdvrender: progressive %d/%d pixels in %s → %s\n",
 			r.Evaluated, res.W*res.H, r.Elapsed.Round(time.Millisecond), *out)
 	default:
-		dm, err := k.RenderEpsIn(res, *eps, window)
+		var dm *quad.DensityMap
+		if layer != "" {
+			var wm *quad.WorkMap
+			dm, wm, _, err = k.RenderEpsWorkMapInCtx(ctx, res, *eps, window)
+			if err == nil {
+				err = saveWorkMap(wm, layer, *workmapO)
+			}
+		} else {
+			dm, _, err = k.RenderEpsStatsInCtx(ctx, res, *eps, window)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -111,6 +157,38 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kdvrender: ε=%.3g render in %s → %s\n",
 			*eps, time.Since(start).Round(time.Millisecond), *out)
 	}
+	if tr != nil {
+		if err := saveTrace(tr, *traceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "kdvrender: %d spans → %s (open in Perfetto or chrome://tracing)\n",
+			len(tr.Spans()), *traceOut)
+	}
+}
+
+// saveWorkMap writes one work-map layer as a PNG and reports the totals so
+// the diagnostic is self-describing on stderr.
+func saveWorkMap(wm *quad.WorkMap, layer quad.WorkMapLayer, path string) error {
+	if err := wm.SavePNG(path, layer); err != nil {
+		return err
+	}
+	depth, evals, gap := wm.Totals()
+	fmt.Fprintf(os.Stderr, "kdvrender: work map (%s) pops=%d evals=%d Σgap=%.3g → %s\n",
+		layer, depth, evals, gap, path)
+	return nil
+}
+
+// saveTrace writes the trace in Chrome trace-event format.
+func saveTrace(tr *trace.Trace, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, tr.Spans()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadPoints(dataPath, gen string, n int, seed int64) (struct {

@@ -21,7 +21,11 @@
 // reports readiness once the default dataset is warm, -pprof-addr starts a
 // side listener with net/http/pprof, expvar, and the same /metrics, and
 // -slow-query logs slow requests as JSON lines (request ID, parameters,
-// render work counters) on stderr.
+// render work counters) on stderr. With -trace-log every request is traced
+// (admission, cache, render stages, encode) and its spans appended as JSON
+// lines; without it only requests carrying a W3C traceparent header are
+// traced. -enable-workmap exposes GET /debug/workmap, serving the
+// per-pixel work rasters (refinement depth, node evals, bound gap) as PNG.
 package main
 
 import (
@@ -55,10 +59,12 @@ func run() int {
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
 		pprofAddr       = flag.String("pprof-addr", "", "side listener for net/http/pprof, expvar, and /metrics (e.g. localhost:6060; empty disables)")
 		slowQuery       = flag.Duration("slow-query", 0, "log any request at least this slow as a JSON line on stderr (0 disables)")
+		traceLog        = flag.String("trace-log", "", "trace every request and append its spans as JSON lines to this file ('-' for stderr; empty traces only requests carrying a traceparent)")
+		enableWorkMap   = flag.Bool("enable-workmap", false, "serve GET /debug/workmap (per-pixel work-map PNGs; off by default, renders are full-price)")
 	)
 	flag.Parse()
 
-	s := serve.NewServerWith(serve.Config{
+	cfg := serve.Config{
 		DefaultN:       *n,
 		RequestTimeout: *requestTimeout,
 		MaxConcurrent:  *maxConcurrent,
@@ -66,7 +72,22 @@ func run() int {
 		CacheSize:      *cacheSize,
 		DegradeBudget:  *degradeBudget,
 		SlowQuery:      *slowQuery,
-	})
+		EnableWorkMap:  *enableWorkMap,
+	}
+	switch *traceLog {
+	case "":
+	case "-":
+		cfg.TraceLog = os.Stderr
+	default:
+		f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Printf("kdvserve: trace log: %v", err)
+			return 1
+		}
+		defer f.Close()
+		cfg.TraceLog = f
+	}
+	s := serve.NewServerWith(cfg)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),

@@ -31,9 +31,25 @@ type Stats struct {
 	LeafScans int
 	// PointsScanned is the number of points touched by leaf scans.
 	PointsScanned int
+	// LB and UB are the final aggregate bounds the query settled at — the
+	// residual bound gap UB−LB is the per-pixel tightness signal behind
+	// work-map diagnostics. They describe one query, so Add does not
+	// accumulate them.
+	LB, UB float64
 }
 
-// Add accumulates other into s.
+// Gap returns the residual bound gap UB−LB at settle, clamped at zero
+// (fully refined queries end with UB == LB up to rounding).
+func (s Stats) Gap() float64 {
+	if g := s.UB - s.LB; g > 0 {
+		return g
+	}
+	return 0
+}
+
+// Add accumulates other's work counters into s. The per-query settle
+// bounds (LB, UB) are not summed — an aggregate of final bounds has no
+// meaning — so s keeps its own.
 func (s *Stats) Add(other Stats) {
 	s.Iterations += other.Iterations
 	s.NodesEvaluated += other.NodesEvaluated
@@ -158,15 +174,17 @@ func (e *Engine) EvalEps(q []float64, eps float64) (float64, Stats) {
 	lb, ub, st := e.refine(q, func(lb, ub float64) bool {
 		return ub <= (1+eps)*lb
 	})
+	st.LB, st.UB = lb, ub
 	return (lb + ub) / 2, st
 }
 
 // EvalTau answers a τKDV query: whether F_P(q) ≥ τ. Pixels whose density is
 // exactly τ are classified as hot (lb ≥ τ fires first).
 func (e *Engine) EvalTau(q []float64, tau float64) (bool, Stats) {
-	lb, _, st := e.refine(q, func(lb, ub float64) bool {
+	lb, ub, st := e.refine(q, func(lb, ub float64) bool {
 		return lb >= tau || ub <= tau
 	})
+	st.LB, st.UB = lb, ub
 	return lb >= tau, st
 }
 

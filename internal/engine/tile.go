@@ -636,6 +636,7 @@ func (e *Engine) EvalEpsFrom(f *Frontier, q []float64, eps float64) (float64, St
 	lb, ub, st := e.refineFrom(f, q, func(lb, ub float64) bool {
 		return ub <= (1+eps)*lb
 	})
+	st.LB, st.UB = lb, ub
 	return (lb + ub) / 2, st
 }
 
@@ -652,15 +653,16 @@ func (e *Engine) EvalTauFrom(f *Frontier, q []float64, tau float64) (bool, Stats
 		// (strict ub < τ keeps densities at exactly τ hot, as everywhere).
 		lb, ub := f.envBounds(q)
 		if lb >= tau {
-			return true, Stats{Iterations: 1}
+			return true, Stats{Iterations: 1, LB: lb, UB: ub}
 		}
 		if ub < tau {
-			return false, Stats{Iterations: 1}
+			return false, Stats{Iterations: 1, LB: lb, UB: ub}
 		}
 	}
-	lb, _, st := e.refineFrom(f, q, func(lb, ub float64) bool {
+	lb, ub, st := e.refineFrom(f, q, func(lb, ub float64) bool {
 		return lb >= tau || ub <= tau
 	})
+	st.LB, st.UB = lb, ub
 	return lb >= tau, st
 }
 

@@ -65,22 +65,30 @@ func newKDVCache(max int) *kdvCache {
 // wait (but not the build) when ctx is cancelled. Build errors are not
 // cached — the next request retries.
 func (c *kdvCache) get(ctx context.Context, key string, build func() (*quad.KDV, error)) (*quad.KDV, error) {
+	k, _, err := c.getOutcome(ctx, key, build)
+	return k, err
+}
+
+// getOutcome is get additionally reporting how the key was satisfied —
+// "hit", "miss" (this call built it), or "coalesced" (waited on another
+// call's build) — the label the cache span and slow-query log carry.
+func (c *kdvCache) getOutcome(ctx context.Context, key string, build func() (*quad.KDV, error)) (*quad.KDV, string, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
 		k := el.Value.(*cacheEntry).kdv
 		c.mu.Unlock()
 		c.hits.Inc()
-		return k, nil
+		return k, "hit", nil
 	}
 	if call, ok := c.building[key]; ok {
 		c.mu.Unlock()
 		c.coalesced.Inc()
 		select {
 		case <-call.done:
-			return call.kdv, call.err
+			return call.kdv, "coalesced", call.err
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, "coalesced", ctx.Err()
 		}
 	}
 	call := &buildCall{done: make(chan struct{})}
@@ -97,7 +105,7 @@ func (c *kdvCache) get(ctx context.Context, key string, build func() (*quad.KDV,
 	}
 	c.mu.Unlock()
 	close(call.done)
-	return call.kdv, call.err
+	return call.kdv, "miss", call.err
 }
 
 func (c *kdvCache) insertLocked(key string, k *quad.KDV) {

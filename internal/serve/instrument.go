@@ -39,6 +39,9 @@ type statsCtxKey struct{}
 
 type statsHolder struct {
 	stats *quad.RenderStats
+	// cacheOutcome records how the request's KDV build cache lookup was
+	// satisfied ("hit", "miss", "coalesced"; empty when no lookup ran).
+	cacheOutcome string
 }
 
 // setRenderStats publishes a render's stats to the instrumentation
@@ -47,6 +50,15 @@ type statsHolder struct {
 func setRenderStats(r *http.Request, st *quad.RenderStats) {
 	if h, ok := r.Context().Value(statsCtxKey{}).(*statsHolder); ok {
 		h.stats = st
+	}
+}
+
+// setCacheOutcome publishes the request's cache-lookup outcome to the
+// instrumentation middleware (same single-goroutine discipline as
+// setRenderStats).
+func setCacheOutcome(ctx context.Context, outcome string) {
+	if h, ok := ctx.Value(statsCtxKey{}).(*statsHolder); ok {
+		h.cacheOutcome = outcome
 	}
 }
 
@@ -72,20 +84,24 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		}
 		s.m.httpRequests[ep][codeClass(status)].Inc()
 		s.m.httpLatency[ep].ObserveDuration(elapsed)
-		s.logSlowQuery(sw, r, status, elapsed, holder.stats)
+		s.logSlowQuery(sw, r, status, elapsed, holder)
 	})
 }
 
 // slowQueryEntry is one JSON line of the slow-query log. Field order is
-// fixed by the struct so the log is stable for tooling.
+// fixed by the struct so the log is stable for tooling. TraceID is present
+// for traced requests, so a slow line can be joined against the exported
+// spans; Cache records how the KDV build lookup was satisfied.
 type slowQueryEntry struct {
 	Time      string          `json:"time"`
 	RequestID string          `json:"request_id"`
+	TraceID   string          `json:"trace_id,omitempty"`
 	Method    string          `json:"method"`
 	Path      string          `json:"path"`
 	Query     string          `json:"query"`
 	Status    int             `json:"status"`
 	ElapsedMs float64         `json:"elapsed_ms"`
+	Cache     string          `json:"cache,omitempty"`
 	Stats     *slowQueryStats `json:"stats,omitempty"`
 }
 
@@ -105,20 +121,22 @@ type slowQueryStats struct {
 // logSlowQuery appends one JSON line for any request that ran at least the
 // configured threshold, with the render's work counters when the handler
 // published them.
-func (s *Server) logSlowQuery(w http.ResponseWriter, r *http.Request, status int, elapsed time.Duration, st *quad.RenderStats) {
+func (s *Server) logSlowQuery(w http.ResponseWriter, r *http.Request, status int, elapsed time.Duration, holder *statsHolder) {
 	if s.cfg.SlowQuery <= 0 || elapsed < s.cfg.SlowQuery || s.cfg.SlowQueryLog == nil {
 		return
 	}
 	entry := slowQueryEntry{
 		Time:      time.Now().UTC().Format(time.RFC3339Nano),
 		RequestID: responseID(w),
+		TraceID:   responseTraceID(w),
 		Method:    r.Method,
 		Path:      r.URL.Path,
 		Query:     r.URL.RawQuery,
 		Status:    status,
 		ElapsedMs: float64(elapsed) / float64(time.Millisecond),
+		Cache:     holder.cacheOutcome,
 	}
-	if st != nil {
+	if st := holder.stats; st != nil {
 		entry.Stats = &slowQueryStats{
 			Pixels:        st.Pixels,
 			QueuePops:     st.Iterations,

@@ -13,7 +13,7 @@ import (
 // series is pre-registered at server construction so the request path only
 // touches atomics (and so scrapes show zero-valued series instead of
 // absent ones).
-var endpoints = []string{"render", "hotspots", "progressive", "info", "healthz", "readyz", "metrics", "other"}
+var endpoints = []string{"render", "hotspots", "progressive", "workmap", "info", "healthz", "readyz", "metrics", "other"}
 
 // codeClasses bucket response statuses; per-exact-code series would blow up
 // cardinality without telling an operator more than the class does.
@@ -82,7 +82,7 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 			telemetry.DurationBuckets, telemetry.L("endpoint", ep))
 	}
 	m.inFlight = reg.Gauge("kdv_http_in_flight", "HTTP requests currently being handled.")
-	for _, ep := range []string{"render", "hotspots", "progressive"} {
+	for _, ep := range []string{"render", "hotspots", "progressive", "workmap"} {
 		byOutcome := make(map[string]*telemetry.Counter, len(renderOutcomes))
 		for _, oc := range renderOutcomes {
 			byOutcome[oc] = reg.Counter("kdv_render_requests_total",
@@ -167,6 +167,8 @@ func endpointLabel(path string) string {
 		return "hotspots"
 	case "/progressive":
 		return "progressive"
+	case "/debug/workmap":
+		return "workmap"
 	case "/info":
 		return "info"
 	case "/healthz":

@@ -9,20 +9,24 @@ import (
 	"net/http"
 	"runtime/debug"
 	"time"
+
+	"github.com/quadkdv/quad/internal/trace"
 )
 
 // errorResponse is the structured JSON body of every non-2xx response.
 // RequestID echoes X-Request-ID so a client error report can be matched to
-// server logs.
+// server logs; TraceID is present for traced requests so the report can be
+// joined against exported spans too.
 type errorResponse struct {
 	Error     string `json:"error"`
 	Status    int    `json:"status"`
 	RequestID string `json:"request_id,omitempty"`
+	TraceID   string `json:"trace_id,omitempty"`
 }
 
-// writeError emits a structured JSON error response. The request ID is
-// read off the response header, where the requestID middleware stamped it
-// before any handler ran.
+// writeError emits a structured JSON error response. The request and trace
+// IDs are read off the response header, where the requestID and tracing
+// middleware stamped them before any handler ran.
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -30,6 +34,7 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 		Error:     fmt.Sprintf(format, args...),
 		Status:    status,
 		RequestID: responseID(w),
+		TraceID:   responseTraceID(w),
 	})
 }
 
@@ -57,8 +62,8 @@ func recoverJSON(next http.Handler) http.Handler {
 				if rec == http.ErrAbortHandler {
 					panic(rec)
 				}
-				log.Printf("serve: panic in %s %s (request_id=%s): %v\n%s",
-					r.Method, r.URL.Path, responseID(w), rec, debug.Stack())
+				log.Printf("serve: panic in %s %s (request_id=%s trace_id=%s): %v\n%s",
+					r.Method, r.URL.Path, responseID(w), responseTraceID(w), rec, debug.Stack())
 				writeError(w, http.StatusInternalServerError, "internal error: %v", rec)
 			}
 		}()
@@ -85,18 +90,28 @@ func baseContext(r *http.Request) context.Context {
 // undeadlined client context reachable via baseContext).
 func (s *Server) guard(next http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sp, _ := trace.StartSpan(r.Context(), "admission")
 		release, err := s.adm.admit(r.Context())
 		if err != nil {
 			switch {
 			case errors.Is(err, errBusy):
+				sp.SetAttrs(trace.Str("outcome", "busy"))
+				sp.End()
 				w.Header().Set("Retry-After", "1")
 				writeError(w, http.StatusTooManyRequests, "server at capacity, retry shortly")
 			case errors.Is(err, context.DeadlineExceeded):
+				sp.SetAttrs(trace.Str("outcome", "timeout"))
+				sp.End()
 				writeError(w, http.StatusServiceUnavailable, "timed out waiting for a render slot")
+			default:
+				sp.SetAttrs(trace.Str("outcome", "cancelled"))
+				sp.End()
 			}
 			// context.Canceled: the client hung up while queued; nothing to say.
 			return
 		}
+		sp.SetAttrs(trace.Str("outcome", "admitted"))
+		sp.End()
 		defer release()
 		ctx := r.Context()
 		if s.cfg.RequestTimeout > 0 {

@@ -49,6 +49,7 @@ import (
 	"github.com/quadkdv/quad/internal/grid"
 	"github.com/quadkdv/quad/internal/render"
 	"github.com/quadkdv/quad/internal/telemetry"
+	"github.com/quadkdv/quad/internal/trace"
 )
 
 // maxPixels caps requested rasters to keep a single request from consuming
@@ -90,6 +91,18 @@ type Config struct {
 	// SlowQueryLog receives the slow-query lines (default os.Stderr).
 	// Writes are serialized by the server.
 	SlowQueryLog io.Writer
+	// TraceLog, when set, enables request tracing for every request and
+	// receives the finished spans as JSON lines (one span per line; writes
+	// are serialized by the server). Requests arriving with a valid W3C
+	// traceparent header are traced regardless, continuing the caller's
+	// trace — but their spans are only exported when TraceLog is set.
+	TraceLog io.Writer
+	// EnableWorkMap exposes GET /debug/workmap, the diagnostic endpoint
+	// rendering per-pixel work rasters (refinement depth, node evaluations,
+	// settle bound gap). Off by default: work-map renders allocate three
+	// full-resolution float64 rasters and bypass the KDV cache's PNG path,
+	// so the endpoint is for debugging, not production traffic.
+	EnableWorkMap bool
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +149,7 @@ type Server struct {
 	m         *metrics
 	warmState atomic.Int32
 	slowMu    sync.Mutex
+	traceMu   sync.Mutex
 }
 
 // NewServer returns a Server with sane defaults.
@@ -164,10 +178,12 @@ func (s *Server) Registry() *telemetry.Registry { return s.reg }
 
 // Handler returns the HTTP handler tree with the hardening and
 // observability middleware. Ordering, outermost first: requestID (stamps
-// X-Request-ID on the response before anything can fail), instrument
-// (status/latency metrics and the slow-query log — outside recovery, so a
-// panic is counted as the 500 it becomes), recoverJSON, then the mux with
-// admission control and per-request deadlines around the render endpoints.
+// X-Request-ID on the response before anything can fail), tracing (adopts
+// or mints the W3C trace context and stamps X-Trace-ID, so every later
+// layer can read it off the ResponseWriter), instrument (status/latency
+// metrics and the slow-query log — outside recovery, so a panic is counted
+// as the 500 it becomes), recoverJSON, then the mux with admission control
+// and per-request deadlines around the render endpoints.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /info", s.handleInfo)
@@ -177,7 +193,8 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /render", s.guard(s.handleRender))
 	mux.Handle("GET /hotspots", s.guard(s.handleHotspots))
 	mux.Handle("GET /progressive", s.guard(s.handleProgressive))
-	return requestID(s.instrument(recoverJSON(mux)))
+	mux.Handle("GET /debug/workmap", s.guard(s.handleWorkMap))
+	return requestID(s.tracing(s.instrument(recoverJSON(mux))))
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -327,7 +344,8 @@ func parseError(w http.ResponseWriter, r *http.Request, err error) {
 
 func (s *Server) kdvFor(ctx context.Context, name string, n int, seed int64, kern quad.Kernel, method quad.Method, eps float64) (*quad.KDV, error) {
 	key := cacheKey(name, n, seed, kern, method, eps)
-	return s.cache.get(ctx, key, func() (*quad.KDV, error) {
+	sp, ctx := trace.StartSpan(ctx, "cache")
+	k, outcome, err := s.cache.getOutcome(ctx, key, func() (*quad.KDV, error) {
 		pts, err := dataset.Generate(name, n, seed)
 		if err != nil {
 			return nil, err
@@ -336,6 +354,10 @@ func (s *Server) kdvFor(ctx context.Context, name string, n int, seed int64, ker
 		return quad.New(pts.Coords, pts.Dim,
 			quad.WithKernel(kern), quad.WithMethod(method), quad.WithZOrderGuarantee(eps, 0.2))
 	})
+	sp.SetAttrs(trace.Str("key", key), trace.Str("outcome", outcome))
+	sp.End()
+	setCacheOutcome(ctx, outcome)
+	return k, err
 }
 
 // cacheKey identifies a built KDV. eps participates only for MethodZOrder,
@@ -365,7 +387,7 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 		s.m.recordOutcome("render", "ok")
 		setStatsHeaders(w, st)
 		w.Header().Set("X-KDV-Complete", "true")
-		writeDensityPNG(w, dm, req.logScale)
+		writeDensityPNG(w, r, dm, req.logScale)
 		return
 	}
 	if errors.Is(err, context.DeadlineExceeded) {
@@ -379,7 +401,7 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 			setStatsHeaders(w, st)
 			w.Header().Set("X-KDV-Complete", strconv.FormatBool(pr.Complete))
 			w.Header().Set("X-KDV-Evaluated", strconv.Itoa(pr.Evaluated))
-			writeDensityPNG(w, pr.Map, req.logScale)
+			writeDensityPNG(w, r, pr.Map, req.logScale)
 			return
 		}
 	}
@@ -442,7 +464,10 @@ func (s *Server) handleHotspots(w http.ResponseWriter, r *http.Request) {
 	setStatsHeaders(w, st)
 	w.Header().Set("Content-Type", "image/png")
 	w.Header().Set("X-KDV-Tau", strconv.FormatFloat(tau, 'g', -1, 64))
-	if err := render.EncodePNG(w, img); err != nil {
+	sp, _ := trace.StartSpan(r.Context(), "encode")
+	err = render.EncodePNG(w, img)
+	sp.End()
+	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 	}
 }
@@ -505,19 +530,24 @@ func (s *Server) handleProgressive(w http.ResponseWriter, r *http.Request) {
 	s.m.recordOutcome("progressive", "ok")
 	s.m.pixels.AddInt(res.Evaluated)
 	s.m.renderSeconds["progressive"].ObserveDuration(res.Elapsed)
+	setRenderStats(r, &res.Stats)
+	setStatsHeaders(w, res.Stats)
 	w.Header().Set("X-KDV-Evaluated", strconv.Itoa(res.Evaluated))
 	w.Header().Set("X-KDV-Complete", strconv.FormatBool(res.Complete))
-	writeDensityPNG(w, res.Map, req.logScale)
+	writeDensityPNG(w, r, res.Map, req.logScale)
 }
 
-func writeDensityPNG(w http.ResponseWriter, dm *quad.DensityMap, logScale bool) {
+func writeDensityPNG(w http.ResponseWriter, r *http.Request, dm *quad.DensityMap, logScale bool) {
 	v := &grid.Values{Res: grid.Resolution{W: dm.Res.W, H: dm.Res.H}, Data: dm.Values}
 	scale := render.Linear
 	if logScale {
 		scale = render.Log
 	}
 	w.Header().Set("Content-Type", "image/png")
-	if err := render.EncodePNG(w, render.Heatmap(v, scale)); err != nil {
+	sp, _ := trace.StartSpan(r.Context(), "encode")
+	err := render.EncodePNG(w, render.Heatmap(v, scale))
+	sp.End()
+	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 	}
 }

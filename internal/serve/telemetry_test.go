@@ -132,16 +132,31 @@ func TestAdmissionRejectCounter(t *testing.T) {
 		close(release)
 	}()
 	<-started
-	// Hammer until we observe a 429 (the slow render occupies the slot for
-	// hundreds of milliseconds; with no queue the next request bounces).
+	// Probe with three concurrent requests until one bounces: with a single
+	// slot and no queue, at most one of the three is admitted, so a 429 is
+	// guaranteed even if the occupying render above already finished (which
+	// a sequential probe would miss — one request at a time never collides).
 	waitFor(t, 5*time.Second, func() bool {
-		resp, err := http.Get(ts.URL + slowPath)
-		if err != nil {
-			return false
+		codes := make(chan int, 3)
+		for i := 0; i < 3; i++ {
+			go func() {
+				resp, err := http.Get(ts.URL + slowPath)
+				if err != nil {
+					codes <- 0
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				codes <- resp.StatusCode
+			}()
 		}
-		defer resp.Body.Close()
-		io.Copy(io.Discard, resp.Body)
-		return resp.StatusCode == http.StatusTooManyRequests
+		saw := false
+		for i := 0; i < 3; i++ {
+			if <-codes == http.StatusTooManyRequests {
+				saw = true
+			}
+		}
+		return saw
 	}, "never saw a 429")
 	<-release
 	wg.Wait()

@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"image/png"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/quadkdv/quad/internal/trace"
+)
+
+func tracedServer(t *testing.T, cfg Config) (*httptest.Server, *syncBuffer) {
+	t.Helper()
+	tl := &syncBuffer{}
+	cfg.TraceLog = tl
+	cfg.DefaultN = 3000
+	s := NewServerWith(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, tl
+}
+
+// traceLogSpans parses the JSONL trace log into generic span records.
+func traceLogSpans(t *testing.T, log string) []map[string]any {
+	t.Helper()
+	var spans []map[string]any
+	sc := bufio.NewScanner(strings.NewReader(log))
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad trace log line %q: %v", sc.Text(), err)
+		}
+		spans = append(spans, m)
+	}
+	return spans
+}
+
+// TestTraceparentPropagation is the round-trip test: a request carrying a
+// W3C traceparent keeps its trace ID across the response headers and the
+// exported spans, with the request's root span parented on the caller's
+// span ID.
+func TestTraceparentPropagation(t *testing.T) {
+	ts, tl := tracedServer(t, Config{})
+	const (
+		tid    = "4bf92f3577b34da6a3ce929d0e0e4736"
+		parent = "00f067aa0ba902b7"
+	)
+	req, err := http.NewRequest("GET", ts.URL+"/render?dataset=crime&res=32x24&eps=0.05", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(trace.Header, "00-"+tid+"-"+parent+"-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(traceIDHeader); got != tid {
+		t.Errorf("X-Trace-ID = %q, want %q", got, tid)
+	}
+	tp := resp.Header.Get(trace.Header)
+	if !strings.HasPrefix(tp, "00-"+tid+"-") || !strings.HasSuffix(tp, "-01") {
+		t.Errorf("response traceparent %q does not continue trace %s", tp, tid)
+	}
+	if _, err := png.Decode(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := traceLogSpans(t, tl.String())
+	if len(spans) == 0 {
+		t.Fatal("no spans exported")
+	}
+	names := map[string]map[string]any{}
+	for _, sp := range spans {
+		if sp["trace_id"] != tid {
+			t.Errorf("span %v exported under trace %v, want %s", sp["name"], sp["trace_id"], tid)
+		}
+		names[sp["name"].(string)] = sp
+	}
+	for _, want := range []string{"request", "admission", "cache", "render.eps", "shared_frontier", "pixel_refinement", "encode"} {
+		if _, ok := names[want]; !ok {
+			t.Errorf("missing %s span (got %v)", want, keysOf(names))
+		}
+	}
+	if root, ok := names["request"]; ok && root["parent_id"] != parent {
+		t.Errorf("request span parent %v, want propagated %s", root["parent_id"], parent)
+	}
+	if sp, ok := names["cache"]; ok {
+		attrs, _ := sp["attrs"].(map[string]any)
+		if oc := attrs["outcome"]; oc != "hit" && oc != "miss" && oc != "coalesced" {
+			t.Errorf("cache span outcome = %v", oc)
+		}
+	}
+}
+
+func keysOf(m map[string]map[string]any) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestMalformedTraceparentMintsFreshTrace checks that a garbage header does
+// not poison the request: with a TraceLog configured the server mints its
+// own valid trace ID instead of failing or echoing the garbage.
+func TestMalformedTraceparentMintsFreshTrace(t *testing.T) {
+	ts, _ := tracedServer(t, Config{})
+	for _, h := range []string{
+		"zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		"not a traceparent",
+	} {
+		req, err := http.NewRequest("GET", ts.URL+"/healthz", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(trace.Header, h)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		got := resp.Header.Get(traceIDHeader)
+		if len(got) != 32 || strings.Contains(h, got) {
+			t.Errorf("header %q: trace ID %q not freshly minted", h, got)
+		}
+	}
+}
+
+// TestUntracedRequestHasNoTraceHeaders checks the disabled path: no
+// TraceLog and no traceparent → no trace headers, no per-request tracing.
+func TestUntracedRequestHasNoTraceHeaders(t *testing.T) {
+	s := NewServerWith(Config{DefaultN: 3000})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	resp := get(t, ts.URL+"/render?dataset=crime&res=16x12&eps=0.05")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if v := resp.Header.Get(traceIDHeader); v != "" {
+		t.Errorf("untraced request got X-Trace-ID %q", v)
+	}
+	if v := resp.Header.Get(trace.Header); v != "" {
+		t.Errorf("untraced request got traceparent %q", v)
+	}
+}
+
+// TestSlowQueryLogCarriesTraceAndCache checks the satellite fix: slow-query
+// lines include the trace ID and the cache outcome.
+func TestSlowQueryLogCarriesTraceAndCache(t *testing.T) {
+	slow := &syncBuffer{}
+	ts, _ := tracedServer(t, Config{SlowQuery: time.Nanosecond, SlowQueryLog: slow})
+	resp := get(t, ts.URL+"/render?dataset=crime&res=32x24&eps=0.05")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	tid := resp.Header.Get(traceIDHeader)
+	if tid == "" {
+		t.Fatal("no trace ID on response")
+	}
+	var entry slowQueryEntry
+	line := strings.TrimSpace(slow.String())
+	if line == "" {
+		t.Fatal("no slow-query line")
+	}
+	// Concurrency in other tests is absent here; still, take the first line.
+	if err := json.Unmarshal([]byte(strings.SplitN(line, "\n", 2)[0]), &entry); err != nil {
+		t.Fatal(err)
+	}
+	if entry.TraceID != tid {
+		t.Errorf("slow-query trace_id = %q, want %q", entry.TraceID, tid)
+	}
+	if entry.Cache != "hit" && entry.Cache != "miss" && entry.Cache != "coalesced" {
+		t.Errorf("slow-query cache outcome = %q", entry.Cache)
+	}
+	if entry.Stats == nil {
+		t.Error("slow-query line missing render stats")
+	}
+}
+
+// TestErrorBodyCarriesTraceID checks that structured error bodies quote the
+// trace ID for traced requests.
+func TestErrorBodyCarriesTraceID(t *testing.T) {
+	ts, _ := tracedServer(t, Config{})
+	resp := get(t, ts.URL+"/render?dataset=nope")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var body errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.TraceID == "" || body.TraceID != resp.Header.Get(traceIDHeader) {
+		t.Errorf("error body trace_id %q != header %q", body.TraceID, resp.Header.Get(traceIDHeader))
+	}
+}
+
+// TestWorkMapEndpointGatedAndServing checks /debug/workmap: 404 when
+// disabled, a decodable PNG with stats headers per layer when enabled, and
+// a 400 on a bogus layer.
+func TestWorkMapEndpointGatedAndServing(t *testing.T) {
+	off := NewServerWith(Config{DefaultN: 3000})
+	tsOff := httptest.NewServer(off.Handler())
+	t.Cleanup(tsOff.Close)
+	if resp := get(t, tsOff.URL+"/debug/workmap?dataset=crime&res=16x12"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled endpoint: status %d, want 404", resp.StatusCode)
+	}
+
+	ts, _ := tracedServer(t, Config{EnableWorkMap: true})
+	for _, layer := range []string{"", "depth", "evals", "gap"} {
+		url := ts.URL + "/debug/workmap?dataset=crime&res=32x24&eps=0.05"
+		if layer != "" {
+			url += "&layer=" + layer
+		}
+		resp := get(t, url)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("layer %q: status %d", layer, resp.StatusCode)
+		}
+		img, err := png.Decode(resp.Body)
+		if err != nil {
+			t.Fatalf("layer %q: %v", layer, err)
+		}
+		if img.Bounds().Dx() != 32 || img.Bounds().Dy() != 24 {
+			t.Errorf("layer %q: bounds %v", layer, img.Bounds())
+		}
+		if resp.Header.Get("X-KDV-Stats-Node-Evals") == "" {
+			t.Errorf("layer %q: missing stats headers", layer)
+		}
+	}
+	if resp := get(t, ts.URL+"/debug/workmap?dataset=crime&res=16x12&layer=bogus"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus layer: status %d, want 400", resp.StatusCode)
+	}
+	// τ work map: decided tiles allowed, must still be a PNG.
+	if resp := get(t, ts.URL+"/debug/workmap?dataset=crime&res=32x24&tau=mu&layer=depth"); resp.StatusCode != http.StatusOK {
+		t.Errorf("tau work map: status %d", resp.StatusCode)
+	} else if resp.Header.Get("X-KDV-Tau") == "" {
+		t.Error("tau work map: missing X-KDV-Tau header")
+	}
+}
+
+// TestProgressiveStatsHeaders checks the satellite: /progressive now
+// carries the same X-KDV-Stats-* headers /render does.
+func TestProgressiveStatsHeaders(t *testing.T) {
+	ts, tl := tracedServer(t, Config{})
+	resp := get(t, ts.URL+"/progressive?dataset=crime&res=32x24&eps=0.05&budget=5s")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	for _, h := range []string{"X-KDV-Stats-Pops", "X-KDV-Stats-Node-Evals", "X-KDV-Stats-Render-Ms"} {
+		if resp.Header.Get(h) == "" {
+			t.Errorf("missing %s header on /progressive", h)
+		}
+	}
+	if resp.Header.Get("X-KDV-Complete") != "true" {
+		t.Errorf("X-KDV-Complete = %q", resp.Header.Get("X-KDV-Complete"))
+	}
+	_ = tl
+}

@@ -1,0 +1,52 @@
+package trace
+
+import "context"
+
+// ctxKey carries the request's *Trace through a context.
+type ctxKey struct{}
+
+// spanCtxKey carries the innermost active *Span, so nested layers parent
+// their spans correctly without threading span handles through call
+// signatures.
+type spanCtxKey struct{}
+
+// NewContext returns ctx carrying t.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the context's trace, or nil when the request is
+// untraced — the disabled tracer, safe to call every method on.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}
+
+// ContextWithSpan returns ctx with s as the current span.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the current span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// StartSpan begins a span on the context's trace, parented on the context's
+// current span, and returns the span plus a context carrying it. On an
+// untraced context it returns (nil, ctx) — both are safe to use as-is.
+func StartSpan(ctx context.Context, name string) (*Span, context.Context) {
+	t := FromContext(ctx)
+	if t == nil {
+		return nil, ctx
+	}
+	s := t.Start(name, SpanFromContext(ctx))
+	return s, ContextWithSpan(ctx, s)
+}

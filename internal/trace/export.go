@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// jsonlSpan is the JSON-lines export schema: one span per line, flat fields
+// first so grep/jq pipelines stay simple, attributes as a nested object.
+type jsonlSpan struct {
+	TraceID    string         `json:"trace_id"`
+	SpanID     string         `json:"span_id"`
+	ParentID   string         `json:"parent_id,omitempty"`
+	Name       string         `json:"name"`
+	Start      string         `json:"start"`
+	DurationMs float64        `json:"duration_ms"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// spanEnd returns the span's end time, treating an unfinished span as
+// zero-length (exporters run after the request, so this only happens for
+// spans a handler forgot to End — better a zero-length span than a lie).
+func spanEnd(s *Span) time.Time {
+	if s.Finish.IsZero() {
+		return s.Start
+	}
+	return s.Finish
+}
+
+// attrMap renders a span's attributes for JSON encoding.
+func attrMap(s *Span) map[string]any {
+	if len(s.attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(s.attrs))
+	for _, a := range s.attrs {
+		m[a.Key] = a.Value()
+	}
+	return m
+}
+
+// WriteJSONL writes one JSON object per span, newline-delimited — the
+// format the serving layer appends to its trace log, shaped like the
+// slow-query log so the same tooling reads both.
+func WriteJSONL(w io.Writer, spans []*Span) error {
+	enc := json.NewEncoder(w)
+	for _, s := range spans {
+		if s == nil {
+			continue
+		}
+		line := jsonlSpan{
+			TraceID:    s.Trace.String(),
+			SpanID:     s.ID.String(),
+			Name:       s.Name,
+			Start:      s.Start.UTC().Format(time.RFC3339Nano),
+			DurationMs: float64(spanEnd(s).Sub(s.Start)) / float64(time.Millisecond),
+			Attrs:      attrMap(s),
+		}
+		if !s.Parent.IsZero() {
+			line.ParentID = s.Parent.String()
+		}
+		if err := enc.Encode(&line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" complete
+// events), the subset Perfetto and chrome://tracing load directly.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the envelope form of the trace-event format.
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChrome writes the spans in Chrome trace-event format. Load the file
+// in Perfetto (ui.perfetto.dev → "Open trace file") or chrome://tracing to
+// see the request's stage waterfall. Timestamps are microseconds relative
+// to the earliest span, so traces from different machines line up at zero.
+func WriteChrome(w io.Writer, spans []*Span) error {
+	var t0 time.Time
+	for _, s := range spans {
+		if s == nil {
+			continue
+		}
+		if t0.IsZero() || s.Start.Before(t0) {
+			t0 = s.Start
+		}
+	}
+	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(spans))}
+	for _, s := range spans {
+		if s == nil {
+			continue
+		}
+		args := attrMap(s)
+		if args == nil {
+			args = make(map[string]any, 2)
+		}
+		args["trace_id"] = s.Trace.String()
+		args["span_id"] = s.ID.String()
+		if !s.Parent.IsZero() {
+			args["parent_id"] = s.Parent.String()
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: s.Name,
+			Cat:  "kdv",
+			Ph:   "X",
+			Ts:   float64(s.Start.Sub(t0)) / float64(time.Microsecond),
+			Dur:  float64(spanEnd(s).Sub(s.Start)) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  1,
+			Args: args,
+		})
+	}
+	b, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w)
+	return err
+}

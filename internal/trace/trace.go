@@ -1,0 +1,255 @@
+// Package trace is the request-scoped counterpart of package telemetry:
+// where telemetry aggregates work across all requests, trace records the
+// spans of one request — admission, cache lookup, the render stages, the
+// response encoding — so a single slow query can be decomposed instead of
+// averaged away. The paper's evaluation (Section 6) keeps asking *where* a
+// render spends its node evaluations; spans answer that per request the way
+// work maps answer it per pixel.
+//
+// Design constraints mirror the telemetry recorders:
+//
+//  1. The disabled path is one nil check. Every method is nil-safe — a nil
+//     *Trace hands out nil *Spans, and every method of a nil *Span is a
+//     no-op — so instrumented code runs untraced requests through a
+//     predictable branch, not an interface dispatch, and pays no
+//     allocation.
+//  2. Tracing a request allocates as little as possible: spans come from a
+//     fixed slab inside the Trace (a request's handful of spans fits it),
+//     and attributes live in small per-span arrays.
+//  3. No dependencies beyond the standard library. Export formats are
+//     JSON-lines (grep-able, one span per line) and the Chrome trace-event
+//     format, loadable in Perfetto or chrome://tracing (see export.go).
+package trace
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// TraceID is the W3C 16-byte trace identifier shared by every span of one
+// request, across services.
+type TraceID [16]byte
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// String returns the 32-char lowercase hex form.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// SpanID is the W3C 8-byte span identifier.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String returns the 16-char lowercase hex form.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// Attr is one key/value annotation on a span. Values are either strings or
+// numbers; use the Str / Int / Float64 / DurMs constructors.
+type Attr struct {
+	Key   string
+	str   string
+	num   float64
+	isNum bool
+}
+
+// Str returns a string-valued attribute.
+func Str(key, value string) Attr { return Attr{Key: key, str: value} }
+
+// Int returns a number-valued attribute.
+func Int(key string, value int) Attr { return Attr{Key: key, num: float64(value), isNum: true} }
+
+// Float64 returns a number-valued attribute.
+func Float64(key string, value float64) Attr { return Attr{Key: key, num: value, isNum: true} }
+
+// DurMs returns d as a number-valued attribute in milliseconds.
+func DurMs(key string, d time.Duration) Attr {
+	return Attr{Key: key, num: float64(d) / float64(time.Millisecond), isNum: true}
+}
+
+// Value returns the attribute's value as an any (string or float64), for
+// exporters.
+func (a Attr) Value() any {
+	if a.isNum {
+		return a.num
+	}
+	return a.str
+}
+
+// Span is one timed operation inside a trace. Spans are created by
+// Trace.Start (or Trace.Add for post-hoc spans with explicit times) and
+// closed by End. A nil *Span is a valid no-op recorder.
+type Span struct {
+	Name   string
+	Trace  TraceID
+	ID     SpanID
+	Parent SpanID // zero for root spans with no remote parent
+	Start  time.Time
+	Finish time.Time // zero until End
+
+	attrs []Attr
+}
+
+// SetAttrs appends attributes to the span.
+func (s *Span) SetAttrs(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, attrs...)
+}
+
+// Attrs returns the span's attributes (nil for a nil span).
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	return s.attrs
+}
+
+// End closes the span at time.Now. Ending twice keeps the first end time.
+func (s *Span) End() {
+	if s == nil || !s.Finish.IsZero() {
+		return
+	}
+	s.Finish = time.Now()
+}
+
+// Duration returns Finish − Start, or 0 for an unfinished or nil span.
+func (s *Span) Duration() time.Duration {
+	if s == nil || s.Finish.IsZero() {
+		return 0
+	}
+	return s.Finish.Sub(s.Start)
+}
+
+// slabSize is the number of spans a Trace can hand out without allocating.
+// A served render emits under a dozen spans (root, admission, cache,
+// render + its stage children, encode), so the slab covers the common case
+// with room to spare.
+const slabSize = 16
+
+// Trace collects the spans of one request. It is safe for concurrent use;
+// a nil *Trace is the valid disabled tracer (Start returns nil, Spans
+// returns nil).
+type Trace struct {
+	mu     sync.Mutex
+	id     TraceID
+	remote SpanID // parent span propagated in via traceparent (zero if minted)
+	slab   [slabSize]Span
+	used   int
+	spans  []*Span
+}
+
+// New returns a Trace with a freshly minted random trace ID.
+func New() *Trace {
+	t := &Trace{}
+	if _, err := rand.Read(t.id[:]); err != nil || t.id.IsZero() {
+		// Nothing sane to do without entropy; a fixed non-zero ID keeps the
+		// trace valid (W3C forbids all-zero) even if uncorrelatable.
+		t.id = TraceID{0: 1}
+	}
+	return t
+}
+
+// Resume returns a Trace continuing a propagated context: spans started
+// with a nil parent become children of the remote parent span.
+func Resume(id TraceID, parent SpanID) *Trace {
+	if id.IsZero() {
+		return New()
+	}
+	return &Trace{id: id, remote: parent}
+}
+
+// ID returns the trace ID (zero for a nil trace).
+func (t *Trace) ID() TraceID {
+	if t == nil {
+		return TraceID{}
+	}
+	return t.id
+}
+
+// newSpan takes a span from the slab, falling back to the heap once the
+// slab is spent. Callers hold t.mu.
+func (t *Trace) newSpan() *Span {
+	var s *Span
+	if t.used < slabSize {
+		s = &t.slab[t.used]
+		t.used++
+	} else {
+		s = new(Span)
+	}
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// Start begins a span. A nil parent parents the span on the remote
+// propagated span (or nothing, for a minted trace). Returns nil on a nil
+// trace.
+func (t *Trace) Start(name string, parent *Span) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	s := t.newSpan()
+	s.Name = name
+	s.Trace = t.id
+	s.ID = newSpanID()
+	if parent != nil {
+		s.Parent = parent.ID
+	} else {
+		s.Parent = t.remote
+	}
+	s.Start = time.Now()
+	t.mu.Unlock()
+	return s
+}
+
+// Add records a span with explicit start and end times — the form for
+// stages whose timing is reconstructed after the fact (e.g. the render's
+// shared-frontier CPU time, known only once RenderStats lands).
+func (t *Trace) Add(name string, parent *Span, start, end time.Time, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	s := t.newSpan()
+	s.Name = name
+	s.Trace = t.id
+	s.ID = newSpanID()
+	if parent != nil {
+		s.Parent = parent.ID
+	} else {
+		s.Parent = t.remote
+	}
+	s.Start = start
+	s.Finish = end
+	s.attrs = append(s.attrs, attrs...)
+	t.mu.Unlock()
+	return s
+}
+
+// Spans returns a snapshot of the trace's spans in start order. The spans
+// themselves are shared, not copied; callers export after the request's
+// spans have all ended.
+func (t *Trace) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// newSpanID mints a random non-zero span ID.
+func newSpanID() SpanID {
+	var id SpanID
+	if _, err := rand.Read(id[:]); err != nil || id.IsZero() {
+		id = SpanID{0: 1}
+	}
+	return id
+}

@@ -1,0 +1,254 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilTraceAndSpanAreNoOps(t *testing.T) {
+	var tr *Trace
+	if got := tr.ID(); !got.IsZero() {
+		t.Fatalf("nil trace ID = %v, want zero", got)
+	}
+	s := tr.Start("x", nil)
+	if s != nil {
+		t.Fatalf("nil trace Start = %v, want nil", s)
+	}
+	// Every span method must be callable on the nil result.
+	s.SetAttrs(Str("k", "v"))
+	s.End()
+	if d := s.Duration(); d != 0 {
+		t.Fatalf("nil span duration = %v", d)
+	}
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("nil trace Spans = %v, want nil", got)
+	}
+	if s2 := tr.Add("y", nil, time.Now(), time.Now()); s2 != nil {
+		t.Fatalf("nil trace Add = %v, want nil", s2)
+	}
+}
+
+func TestSpanLifecycleAndParents(t *testing.T) {
+	tr := New()
+	if tr.ID().IsZero() {
+		t.Fatal("minted trace has zero ID")
+	}
+	root := tr.Start("root", nil)
+	child := tr.Start("child", root)
+	child.SetAttrs(Int("n", 3), Str("mode", "tile"))
+	child.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0] != root || spans[1] != child {
+		t.Fatal("spans not in start order")
+	}
+	if !root.Parent.IsZero() {
+		t.Fatalf("root parent = %v, want zero", root.Parent)
+	}
+	if child.Parent != root.ID {
+		t.Fatalf("child parent = %v, want %v", child.Parent, root.ID)
+	}
+	if child.Trace != tr.ID() || root.Trace != tr.ID() {
+		t.Fatal("spans do not carry the trace ID")
+	}
+	if root.ID == child.ID {
+		t.Fatal("span IDs collide")
+	}
+	if root.Duration() <= 0 && root.Finish.IsZero() {
+		t.Fatal("ended root has no finish time")
+	}
+	end := child.Finish
+	child.End() // double-End keeps the first end time
+	if child.Finish != end {
+		t.Fatal("double End moved the finish time")
+	}
+}
+
+func TestResumeParentsOnRemoteSpan(t *testing.T) {
+	tid := TraceID{1, 2, 3, 4}
+	sid := SpanID{9, 8, 7}
+	tr := Resume(tid, sid)
+	if tr.ID() != tid {
+		t.Fatalf("resumed trace ID = %v, want %v", tr.ID(), tid)
+	}
+	s := tr.Start("root", nil)
+	if s.Parent != sid {
+		t.Fatalf("resumed root parent = %v, want remote %v", s.Parent, sid)
+	}
+	// A zero propagated ID falls back to a minted trace.
+	if tr2 := Resume(TraceID{}, SpanID{}); tr2.ID().IsZero() {
+		t.Fatal("Resume with zero ID did not mint one")
+	}
+}
+
+func TestSlabOverflowKeepsSpansValid(t *testing.T) {
+	tr := New()
+	var all []*Span
+	for i := 0; i < slabSize+8; i++ {
+		all = append(all, tr.Start("s", nil))
+	}
+	spans := tr.Spans()
+	if len(spans) != slabSize+8 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	for i, s := range all {
+		if spans[i] != s {
+			t.Fatalf("span %d moved after slab overflow", i)
+		}
+		if s.Trace != tr.ID() {
+			t.Fatalf("span %d lost its trace ID", i)
+		}
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if got := FromContext(ctx); got != nil {
+		t.Fatal("empty context yielded a trace")
+	}
+	if s, ctx2 := StartSpan(ctx, "x"); s != nil || ctx2 != ctx {
+		t.Fatal("StartSpan on untraced context must be a no-op")
+	}
+	tr := New()
+	ctx = NewContext(ctx, tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("trace did not round-trip the context")
+	}
+	parent, ctx := StartSpan(ctx, "parent")
+	child, _ := StartSpan(ctx, "child")
+	if child.Parent != parent.ID {
+		t.Fatal("StartSpan did not parent on the context's current span")
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := New()
+	root := tr.Start("http", nil)
+	child := tr.Start("render", root)
+	child.SetAttrs(Int("pixels", 100), Float64("eps", 0.01), Str("dataset", "crime"))
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var got struct {
+		TraceID  string         `json:"trace_id"`
+		SpanID   string         `json:"span_id"`
+		ParentID string         `json:"parent_id"`
+		Name     string         `json:"name"`
+		Attrs    map[string]any `json:"attrs"`
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != tr.ID().String() {
+		t.Fatalf("trace_id = %q, want %q", got.TraceID, tr.ID().String())
+	}
+	if got.ParentID != root.ID.String() {
+		t.Fatalf("parent_id = %q, want %q", got.ParentID, root.ID.String())
+	}
+	if got.Name != "render" {
+		t.Fatalf("name = %q", got.Name)
+	}
+	if got.Attrs["pixels"] != float64(100) || got.Attrs["dataset"] != "crime" {
+		t.Fatalf("attrs = %v", got.Attrs)
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	tr := New()
+	root := tr.Start("http", nil)
+	base := time.Now()
+	tr.Add("shared_frontier", root, base, base.Add(3*time.Millisecond), Int("node_evals", 42))
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(got.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(got.TraceEvents))
+	}
+	for _, ev := range got.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event phase = %q, want X", ev.Ph)
+		}
+		if ev.Ts < 0 {
+			t.Fatalf("negative relative timestamp %g", ev.Ts)
+		}
+		if ev.Args["trace_id"] != tr.ID().String() {
+			t.Fatalf("event args missing trace_id: %v", ev.Args)
+		}
+	}
+	var synth *struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Args map[string]any `json:"args"`
+	}
+	for i := range got.TraceEvents {
+		if got.TraceEvents[i].Name == "shared_frontier" {
+			synth = &got.TraceEvents[i]
+		}
+	}
+	if synth == nil {
+		t.Fatal("shared_frontier event missing")
+	}
+	if synth.Dur < 2900 || synth.Dur > 3100 {
+		t.Fatalf("synthesized span duration = %g µs, want ~3000", synth.Dur)
+	}
+	if synth.Args["node_evals"] != float64(42) {
+		t.Fatalf("args = %v", synth.Args)
+	}
+}
+
+func TestConcurrentStart(t *testing.T) {
+	tr := New()
+	done := make(chan struct{})
+	const workers, per = 8, 50
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < per; i++ {
+				s := tr.Start("s", nil)
+				s.SetAttrs(Int("i", i))
+				s.End()
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	if got := len(tr.Spans()); got != workers*per {
+		t.Fatalf("got %d spans, want %d", got, workers*per)
+	}
+}

@@ -1,0 +1,99 @@
+package trace
+
+import "fmt"
+
+// Header is the canonical name of the W3C trace-context propagation header.
+const Header = "traceparent"
+
+// traceparent wire format (https://www.w3.org/TR/trace-context/), version 00:
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	^  ^trace-id (32 lhex)              ^parent-id (16)   ^flags
+//
+// Fixed offsets of the version-00 layout; higher versions must start with
+// the same prefix and may append "-extra".
+const (
+	tpLen       = 55
+	tpTraceOff  = 3
+	tpParentOff = 36
+	tpFlagsOff  = 53
+)
+
+// ParseTraceparent parses a traceparent header. It accepts any version
+// except the forbidden ff, requiring the version-00 prefix layout; unknown
+// future versions may carry extra "-"-joined fields, which are ignored (as
+// the spec instructs). The sampled flag is not modeled — the serving layer
+// traces every request it is asked to trace.
+func ParseTraceparent(h string) (TraceID, SpanID, error) {
+	var tid TraceID
+	var sid SpanID
+	if len(h) < tpLen {
+		return tid, sid, fmt.Errorf("trace: traceparent too short (%d < %d)", len(h), tpLen)
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return tid, sid, fmt.Errorf("trace: traceparent delimiters malformed")
+	}
+	ver, ok := hexByte(h[0], h[1])
+	if !ok {
+		return tid, sid, fmt.Errorf("trace: bad traceparent version %q", h[:2])
+	}
+	if ver == 0xff {
+		return tid, sid, fmt.Errorf("trace: forbidden traceparent version ff")
+	}
+	if len(h) > tpLen {
+		if ver == 0 {
+			return tid, sid, fmt.Errorf("trace: version-00 traceparent has trailing data")
+		}
+		if h[tpLen] != '-' {
+			return tid, sid, fmt.Errorf("trace: traceparent trailing data not dash-separated")
+		}
+	}
+	for i := 0; i < 16; i++ {
+		b, ok := hexByte(h[tpTraceOff+2*i], h[tpTraceOff+2*i+1])
+		if !ok {
+			return TraceID{}, sid, fmt.Errorf("trace: trace-id is not lowercase hex")
+		}
+		tid[i] = b
+	}
+	if tid.IsZero() {
+		return TraceID{}, sid, fmt.Errorf("trace: all-zero trace-id is invalid")
+	}
+	for i := 0; i < 8; i++ {
+		b, ok := hexByte(h[tpParentOff+2*i], h[tpParentOff+2*i+1])
+		if !ok {
+			return TraceID{}, SpanID{}, fmt.Errorf("trace: parent-id is not lowercase hex")
+		}
+		sid[i] = b
+	}
+	if sid.IsZero() {
+		return TraceID{}, SpanID{}, fmt.Errorf("trace: all-zero parent-id is invalid")
+	}
+	if _, ok := hexByte(h[tpFlagsOff], h[tpFlagsOff+1]); !ok {
+		return TraceID{}, SpanID{}, fmt.Errorf("trace: trace-flags are not lowercase hex")
+	}
+	return tid, sid, nil
+}
+
+// FormatTraceparent renders a version-00 traceparent with the sampled flag
+// set (this process recorded the trace, so downstream should too).
+func FormatTraceparent(tid TraceID, sid SpanID) string {
+	return "00-" + tid.String() + "-" + sid.String() + "-01"
+}
+
+// hexByte decodes two lowercase hex digits. The W3C grammar forbids
+// uppercase, so this is stricter than encoding/hex.
+func hexByte(hi, lo byte) (byte, bool) {
+	h, ok1 := hexNibble(hi)
+	l, ok2 := hexNibble(lo)
+	return h<<4 | l, ok1 && ok2
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}

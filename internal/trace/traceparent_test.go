@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+const validTP = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+
+func TestParseTraceparentRoundTrip(t *testing.T) {
+	tid, sid, err := ParseTraceparent(validTP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tid.String(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace-id = %s", got)
+	}
+	if got := sid.String(); got != "00f067aa0ba902b7" {
+		t.Fatalf("parent-id = %s", got)
+	}
+	// Format → Parse is the identity on the IDs (flags are normalized to 01).
+	out := FormatTraceparent(tid, sid)
+	tid2, sid2, err := ParseTraceparent(out)
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", out, err)
+	}
+	if tid2 != tid || sid2 != sid {
+		t.Fatalf("round trip changed IDs: %v/%v → %v/%v", tid, sid, tid2, sid2)
+	}
+	if len(out) != tpLen {
+		t.Fatalf("formatted length %d, want %d", len(out), tpLen)
+	}
+}
+
+func TestParseTraceparentMintedRoundTrip(t *testing.T) {
+	tr := New()
+	s := tr.Start("root", nil)
+	h := FormatTraceparent(tr.ID(), s.ID)
+	tid, sid, err := ParseTraceparent(h)
+	if err != nil {
+		t.Fatalf("minted header %q failed to parse: %v", h, err)
+	}
+	if tid != tr.ID() || sid != s.ID {
+		t.Fatal("minted header round trip lost the IDs")
+	}
+}
+
+func TestParseTraceparentMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"short", "00-abc"},
+		{"one char short", validTP[:len(validTP)-1]},
+		{"bad version hex", "0g" + validTP[2:]},
+		{"forbidden version ff", "ff" + validTP[2:]},
+		{"uppercase trace-id", "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01"},
+		{"uppercase parent-id", "00-4bf92f3577b34da6a3ce929d0e0e4736-00F067AA0BA902B7-01"},
+		{"zero trace-id", "00-00000000000000000000000000000000-00f067aa0ba902b7-01"},
+		{"zero parent-id", "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01"},
+		{"bad flags", validTP[:53] + "zz"},
+		{"missing first dash", "00x4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"},
+		{"missing second dash", "00-4bf92f3577b34da6a3ce929d0e0e4736x00f067aa0ba902b7-01"},
+		{"missing third dash", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7x01"},
+		{"v00 with trailing data", validTP + "-extra"},
+		{"future version trailing junk not dashed", "01" + validTP[2:] + "extra"},
+		{"non-hex trace-id", "00-4bf92f3577b34da6a3ce929d0e0e473x-00f067aa0ba902b7-01"},
+		{"non-hex parent-id", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902bx-01"},
+	}
+	for _, tc := range cases {
+		if _, _, err := ParseTraceparent(tc.in); err == nil {
+			t.Errorf("%s: ParseTraceparent(%q) accepted", tc.name, tc.in)
+		}
+	}
+}
+
+func TestParseTraceparentFutureVersion(t *testing.T) {
+	// Higher versions are accepted with the 00 prefix layout, with or
+	// without dash-joined extra fields.
+	for _, h := range []string{
+		"01" + validTP[2:],
+		"cc" + validTP[2:] + "-what-future-versions-append",
+	} {
+		if _, _, err := ParseTraceparent(h); err != nil {
+			t.Errorf("ParseTraceparent(%q) rejected: %v", h, err)
+		}
+	}
+}
+
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add(validTP)
+	f.Add("")
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00")
+	f.Add("ff" + validTP[2:])
+	f.Add("01" + validTP[2:] + "-extra")
+	f.Add(strings.Repeat("0", 55))
+	f.Fuzz(func(t *testing.T, h string) {
+		tid, sid, err := ParseTraceparent(h)
+		if err != nil {
+			return
+		}
+		// Accepted headers must yield valid IDs whose canonical re-render
+		// parses to the same IDs (flags normalize to 01).
+		if tid.IsZero() || sid.IsZero() {
+			t.Fatalf("accepted %q with a zero ID", h)
+		}
+		out := FormatTraceparent(tid, sid)
+		tid2, sid2, err := ParseTraceparent(out)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted %q rejected: %v", out, h, err)
+		}
+		if tid2 != tid || sid2 != sid {
+			t.Fatalf("round trip of %q changed IDs", h)
+		}
+		// The version-00 layout pins the IDs to fixed offsets of the input.
+		if h[3:35] != tid.String() {
+			t.Fatalf("trace-id %s does not match input %q", tid, h)
+		}
+		if h[36:52] != sid.String() {
+			t.Fatalf("parent-id %s does not match input %q", sid, h)
+		}
+	})
+}

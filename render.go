@@ -15,6 +15,7 @@ import (
 	"github.com/quadkdv/quad/internal/progressive"
 	"github.com/quadkdv/quad/internal/render"
 	"github.com/quadkdv/quad/internal/stats"
+	"github.com/quadkdv/quad/internal/trace"
 )
 
 // DensityMap is a rendered density raster: Values[y*Res.W+x] is the density
@@ -333,13 +334,55 @@ func (s *RenderStats) merge(o RenderStats) {
 	s.SharedElapsed += o.SharedElapsed
 }
 
+// emitRenderSpans records post-hoc render-stage spans on the context's
+// trace (no-op when the context carries none), decomposing the render's
+// wall time at the RenderStats stage boundaries: a parent render span, a
+// shared_frontier child and a pixel_refinement child. SharedElapsed is CPU
+// time summed across workers, not wall time, so the shared_frontier child
+// is clamped to the wall window and carries the true CPU sum as cpu_ms.
+// Call after st.Elapsed has been set.
+func emitRenderSpans(ctx context.Context, name string, start time.Time, st RenderStats, err error) {
+	tr := trace.FromContext(ctx)
+	if tr == nil {
+		return
+	}
+	end := start.Add(st.Elapsed)
+	sp := tr.Add(name, trace.SpanFromContext(ctx), start, end,
+		trace.Int("pixels", st.Pixels),
+		trace.Int("tiles", st.Tiles),
+		trace.Int("tiles_decided", st.TilesDecided),
+		trace.Int("node_evals", st.NodesEvaluated),
+		trace.Int("shared_evals", st.SharedNodeEvals),
+		trace.Float64("nodes_per_pixel", st.NodesPerPixel()),
+	)
+	if err != nil {
+		sp.SetAttrs(trace.Str("error", err.Error()))
+	}
+	shared := st.SharedElapsed
+	if shared > st.Elapsed {
+		shared = st.Elapsed
+	}
+	mid := start.Add(shared)
+	tr.Add("shared_frontier", sp, start, mid,
+		trace.DurMs("cpu_ms", st.SharedElapsed),
+		trace.Int("shared_evals", st.SharedNodeEvals),
+		trace.Int("promotions", st.FrontierPromotions))
+	tr.Add("pixel_refinement", sp, mid, end,
+		trace.Int("iterations", st.Iterations),
+		trace.Int("node_evals", st.NodesEvaluated),
+		trace.Int("leaf_scans", st.LeafScans),
+		trace.Int("points_scanned", st.PointsScanned))
+}
+
 // renderPass describes one full-raster evaluation: εKDV (density values) or
-// τKDV (0/1 hot values), with an optional stats sink.
+// τKDV (0/1 hot values), with an optional stats sink and an optional
+// per-pixel work-map sink.
 type renderPass struct {
 	eps   float64
 	tau   float64
 	isTau bool
 	stats *RenderStats
+	work  *WorkMap
 }
 
 // renderValues evaluates every pixel of g into a pooled buffer. Workers
@@ -484,6 +527,9 @@ func (k *KDV) newTileRunner(ctx context.Context, g *grid.Grid, size int, pass re
 					}
 					vals[g.Index(x, y)] = v
 					local.addPixel(st)
+					if pass.work != nil {
+						pass.work.record(g.Index(x, y), st)
+					}
 				}
 			}
 		}
@@ -516,6 +562,9 @@ func (k *KDV) newTileRunner(ctx context.Context, g *grid.Grid, size int, pass re
 				}
 				vals[g.Index(x, y)] = v
 				local.addPixel(st)
+				if pass.work != nil {
+					pass.work.record(g.Index(x, y), st)
+				}
 				local.addPromote(s.te.Promote(f))
 				if x == x1 {
 					break
@@ -547,6 +596,9 @@ func (k *KDV) newTileRunner(ctx context.Context, g *grid.Grid, size int, pass re
 				v, st := s.te.EvalEps(s.q, pass.eps)
 				vals[g.Index(x, y)] = v
 				local.addPixel(st)
+				if pass.work != nil {
+					pass.work.record(g.Index(x, y), st)
+				}
 			}
 		}
 	}
@@ -677,9 +729,13 @@ type progWarm struct {
 	touched          []bool
 	fronts           []*engine.Frontier
 	rectMin, rectMax [2]float64
+	// stats, when non-nil, accumulates the per-pixel and shared work
+	// counters. Progressive evaluation is single-threaded, so plain field
+	// updates suffice.
+	stats *RenderStats
 }
 
-func (k *KDV) newProgWarm(g *grid.Grid, eng *engine.Engine, eps float64) *progWarm {
+func (k *KDV) newProgWarm(g *grid.Grid, eng *engine.Engine, eps float64, st *RenderStats) *progWarm {
 	size := k.tileSize()
 	if eng == nil || size < 2 {
 		return nil
@@ -694,18 +750,25 @@ func (k *KDV) newProgWarm(g *grid.Grid, eng *engine.Engine, eps float64) *progWa
 		eps:     eps,
 		touched: make([]bool, tilesX*tilesY),
 		fronts:  make([]*engine.Frontier, tilesX*tilesY),
+		stats:   st,
 	}
 }
 
 func (w *progWarm) eval(px, py int, q []float64) float64 {
 	ti := (py/w.size)*w.tilesX + px/w.size
 	if f := w.fronts[ti]; f != nil {
-		v, _ := w.te.EvalEpsFrom(f, q, w.eps)
+		v, st := w.te.EvalEpsFrom(f, q, w.eps)
+		if w.stats != nil {
+			w.stats.addPixel(st)
+		}
 		return v
 	}
 	if !w.touched[ti] {
 		w.touched[ti] = true
-		v, _ := w.te.EvalEps(q, w.eps)
+		v, st := w.te.EvalEps(q, w.eps)
+		if w.stats != nil {
+			w.stats.addPixel(st)
+		}
 		return v
 	}
 	x0, y0 := (px/w.size)*w.size, (py/w.size)*w.size
@@ -720,9 +783,14 @@ func (w *progWarm) eval(px, py int, q []float64) float64 {
 	w.g.Query(x0, y0, rect.Min)
 	w.g.Query(x1-1, y1-1, rect.Max)
 	f := new(engine.Frontier)
-	w.te.BuildFrontierEps(rect, w.eps, f)
+	buildSt := w.te.BuildFrontierEps(rect, w.eps, f)
 	w.fronts[ti] = f
-	v, _ := w.te.EvalEpsFrom(f, q, w.eps)
+	v, st := w.te.EvalEpsFrom(f, q, w.eps)
+	if w.stats != nil {
+		w.stats.Tiles++
+		w.stats.addShared(buildSt)
+		w.stats.addPixel(st)
+	}
 	return v
 }
 
@@ -771,7 +839,7 @@ func (k *KDV) RenderEpsIn(res Resolution, eps float64, win Window) (*DensityMap,
 
 // RenderEpsInCtx is RenderEpsIn under a context (see RenderEpsCtx).
 func (k *KDV) RenderEpsInCtx(ctx context.Context, res Resolution, eps float64, win Window) (*DensityMap, error) {
-	return k.renderEpsIn(ctx, res, eps, win, nil)
+	return k.renderEpsIn(ctx, res, eps, win, nil, nil)
 }
 
 // RenderEpsStats is RenderEps additionally reporting the render's work
@@ -787,12 +855,13 @@ func (k *KDV) RenderEpsStats(res Resolution, eps float64) (*DensityMap, RenderSt
 func (k *KDV) RenderEpsStatsInCtx(ctx context.Context, res Resolution, eps float64, win Window) (*DensityMap, RenderStats, error) {
 	var st RenderStats
 	start := time.Now()
-	dm, err := k.renderEpsIn(ctx, res, eps, win, &st)
+	dm, err := k.renderEpsIn(ctx, res, eps, win, &st, nil)
 	st.Elapsed = time.Since(start)
+	emitRenderSpans(ctx, "render.eps", start, st, err)
 	return dm, st, err
 }
 
-func (k *KDV) renderEpsIn(ctx context.Context, res Resolution, eps float64, win Window, st *RenderStats) (*DensityMap, error) {
+func (k *KDV) renderEpsIn(ctx context.Context, res Resolution, eps float64, win Window, st *RenderStats, work *WorkMap) (*DensityMap, error) {
 	if eps < 0 {
 		return nil, fmt.Errorf("quad: negative relative error %g", eps)
 	}
@@ -800,7 +869,7 @@ func (k *KDV) renderEpsIn(ctx context.Context, res Resolution, eps float64, win 
 	if err != nil {
 		return nil, err
 	}
-	vals, err := k.renderValues(ctx, g, renderPass{eps: eps, stats: st})
+	vals, err := k.renderValues(ctx, g, renderPass{eps: eps, stats: st, work: work})
 	if err != nil {
 		return nil, err
 	}
@@ -830,7 +899,7 @@ func (k *KDV) RenderTauIn(res Resolution, tau float64, win Window) (*HotspotMap,
 
 // RenderTauInCtx is RenderTauIn under a context (see RenderEpsCtx).
 func (k *KDV) RenderTauInCtx(ctx context.Context, res Resolution, tau float64, win Window) (*HotspotMap, error) {
-	return k.renderTauIn(ctx, res, tau, win, nil)
+	return k.renderTauIn(ctx, res, tau, win, nil, nil)
 }
 
 // RenderTauStats is RenderTau additionally reporting the render's work
@@ -844,17 +913,18 @@ func (k *KDV) RenderTauStats(res Resolution, tau float64) (*HotspotMap, RenderSt
 func (k *KDV) RenderTauStatsInCtx(ctx context.Context, res Resolution, tau float64, win Window) (*HotspotMap, RenderStats, error) {
 	var st RenderStats
 	start := time.Now()
-	hm, err := k.renderTauIn(ctx, res, tau, win, &st)
+	hm, err := k.renderTauIn(ctx, res, tau, win, &st, nil)
 	st.Elapsed = time.Since(start)
+	emitRenderSpans(ctx, "render.tau", start, st, err)
 	return hm, st, err
 }
 
-func (k *KDV) renderTauIn(ctx context.Context, res Resolution, tau float64, win Window, st *RenderStats) (*HotspotMap, error) {
+func (k *KDV) renderTauIn(ctx context.Context, res Resolution, tau float64, win Window, st *RenderStats, work *WorkMap) (*HotspotMap, error) {
 	g, err := k.newGridIn(res, win)
 	if err != nil {
 		return nil, err
 	}
-	vals, err := k.renderValues(ctx, g, renderPass{tau: tau, isTau: true, stats: st})
+	vals, err := k.renderValues(ctx, g, renderPass{tau: tau, isTau: true, stats: st, work: work})
 	if err != nil {
 		return nil, err
 	}
@@ -920,6 +990,11 @@ type ProgressiveResult struct {
 	Complete bool
 	// Elapsed is the wall-clock time consumed.
 	Elapsed time.Duration
+	// Stats aggregates the refinement work of the evaluated pixels (zero
+	// for scan-based methods, which perform no bound refinement). Pixels is
+	// the evaluated count, not the raster size — progressive renders leave
+	// the unevaluated remainder to coarse fill.
+	Stats RenderStats
 }
 
 // RenderProgressive runs the progressive visualization framework (paper
@@ -966,7 +1041,8 @@ func (k *KDV) RenderProgressiveInCtx(ctx context.Context, res Resolution, eps fl
 		return nil, err
 	}
 	defer ec.release(k)
-	warm := k.newProgWarm(g, ec.eng, eps)
+	var rst RenderStats
+	warm := k.newProgWarm(g, ec.eng, eps, &rst)
 	if warm != nil {
 		order.GroupByTile(warm.size)
 	}
@@ -983,7 +1059,8 @@ func (k *KDV) RenderProgressiveInCtx(ctx context.Context, res Resolution, eps fl
 			if warm != nil {
 				return warm.eval(px, py, q)
 			}
-			v, _ := ec.eng.EvalEps(q, eps)
+			v, st := ec.eng.EvalEps(q, eps)
+			rst.addPixel(st)
 			return v
 		}
 	}
@@ -991,6 +1068,8 @@ func (k *KDV) RenderProgressiveInCtx(ctx context.Context, res Resolution, eps fl
 	if ctxErr != nil {
 		return nil, ctxErr
 	}
+	rst.Pixels = r.Evaluated
+	rst.Elapsed = r.Elapsed
 	return &ProgressiveResult{
 		Map: &DensityMap{
 			Res:       res,
@@ -1001,6 +1080,7 @@ func (k *KDV) RenderProgressiveInCtx(ctx context.Context, res Resolution, eps fl
 		Evaluated: r.Evaluated,
 		Complete:  r.Complete,
 		Elapsed:   r.Elapsed,
+		Stats:     rst,
 	}, nil
 }
 
@@ -1053,7 +1133,8 @@ func (k *KDV) RenderProgressiveStreamCtx(ctx context.Context, res Resolution, ep
 		return nil, err
 	}
 	defer ec.release(k)
-	warm := k.newProgWarm(g, ec.eng, eps)
+	var rst RenderStats
+	warm := k.newProgWarm(g, ec.eng, eps, &rst)
 	if warm != nil {
 		order.GroupByTile(warm.size)
 	}
@@ -1070,7 +1151,8 @@ func (k *KDV) RenderProgressiveStreamCtx(ctx context.Context, res Resolution, ep
 			if warm != nil {
 				return warm.eval(px, py, q)
 			}
-			v, _ := ec.eng.EvalEps(q, eps)
+			v, st := ec.eng.EvalEps(q, eps)
+			rst.addPixel(st)
 			return v
 		}
 	}
@@ -1079,8 +1161,27 @@ func (k *KDV) RenderProgressiveStreamCtx(ctx context.Context, res Resolution, ep
 		WindowMin: [2]float64{g.Window.Min[0], g.Window.Min[1]},
 		WindowMax: [2]float64{g.Window.Max[0], g.Window.Max[1]},
 	}
+	// Per-level spans: each completed quad-tree level becomes a post-hoc
+	// span covering [previous snapshot, this snapshot] with the pixels and
+	// node evaluations the level consumed.
+	tr := trace.FromContext(ctx)
+	parentSpan := trace.SpanFromContext(ctx)
+	start := time.Now()
+	var prevElapsed time.Duration
+	prevEvaluated, prevNodes := 0, 0
 	r, ctxErr := progressive.RunStreamCtx(ctx, order, eval, budget, 0, func(s progressive.Snapshot) bool {
 		dm.Values = s.Values
+		if tr != nil {
+			sp := tr.Add(fmt.Sprintf("progressive.level.%d", s.Level), parentSpan,
+				start.Add(prevElapsed), start.Add(s.Elapsed),
+				trace.Int("level", s.Level),
+				trace.Int("pixels", s.Evaluated-prevEvaluated),
+				trace.Int("node_evals", rst.NodesEvaluated-prevNodes))
+			if s.Final {
+				sp.SetAttrs(trace.Str("final", "true"))
+			}
+			prevElapsed, prevEvaluated, prevNodes = s.Elapsed, s.Evaluated, rst.NodesEvaluated
+		}
 		return emit(Snapshot{
 			Map:       dm,
 			Evaluated: s.Evaluated,
@@ -1093,11 +1194,14 @@ func (k *KDV) RenderProgressiveStreamCtx(ctx context.Context, res Resolution, ep
 		return nil, ctxErr
 	}
 	dm.Values = r.Values.Data
+	rst.Pixels = r.Evaluated
+	rst.Elapsed = r.Elapsed
 	return &ProgressiveResult{
 		Map:       dm,
 		Evaluated: r.Evaluated,
 		Complete:  r.Complete,
 		Elapsed:   r.Elapsed,
+		Stats:     rst,
 	}, nil
 }
 

@@ -2,12 +2,19 @@
 # Smoke test of the serving stack: boot kdvserve, wait for /readyz to flip
 # green, render once, and assert /metrics recorded the work. Exercises the
 # telemetry path end to end on a real listener, which unit tests cannot.
+# A second pass exercises the tracing path: a render carrying a W3C
+# traceparent must surface its trace ID in the exported span log, and
+# /debug/workmap must serve a work-map PNG. Diagnostic artifacts (trace
+# JSON, work-map PNG) land in SMOKE_ARTIFACTS when set, so CI can upload
+# them.
 set -eu
 
 ADDR="${SMOKE_ADDR:-127.0.0.1:18080}"
 BASE="http://$ADDR"
 BIN="$(mktemp -d)/kdvserve"
 LOG="$(mktemp)"
+ART="${SMOKE_ARTIFACTS:-$(mktemp -d)}"
+mkdir -p "$ART"
 
 cleanup() {
     [ -n "${SRV_PID:-}" ] && kill "$SRV_PID" 2>/dev/null || true
@@ -17,7 +24,8 @@ cleanup() {
 trap cleanup EXIT INT TERM
 
 go build -o "$BIN" ./cmd/kdvserve
-"$BIN" -addr "$ADDR" -n 3000 -slow-query 1ns >"$LOG" 2>&1 &
+"$BIN" -addr "$ADDR" -n 3000 -slow-query 1ns -enable-workmap \
+    -trace-log "$ART/serve.trace.jsonl" >"$LOG" 2>&1 &
 SRV_PID=$!
 
 # Readiness must flip to 200 once the warmup build lands.
@@ -49,5 +57,43 @@ echo "smoke: /metrics recorded the render"
 grep -q '"path":"/render"' "$LOG" \
     || { echo "smoke: slow-query log missing /render entry"; cat "$LOG"; exit 1; }
 echo "smoke: slow-query log populated"
+
+# Traced render: a request carrying a W3C traceparent must keep its trace
+# ID end to end — on the response header and in the exported span log.
+TID="4bf92f3577b34da6a3ce929d0e0e4736"
+GOT_TID="$(curl -sf -D - -o /dev/null \
+    -H "traceparent: 00-$TID-00f067aa0ba902b7-01" \
+    "$BASE/render?dataset=crime&res=64x48&eps=0.05" \
+    | tr -d '\r' | sed -n 's/^X-Trace-ID: //ip')"
+[ "$GOT_TID" = "$TID" ] \
+    || { echo "smoke: X-Trace-ID '$GOT_TID' != propagated '$TID'"; cat "$LOG"; exit 1; }
+grep -q "\"trace_id\":\"$TID\"" "$ART/serve.trace.jsonl" \
+    || { echo "smoke: trace log missing spans for $TID"; cat "$ART/serve.trace.jsonl"; exit 1; }
+grep "\"trace_id\":\"$TID\"" "$ART/serve.trace.jsonl" | grep -q '"name":"render.eps"' \
+    || { echo "smoke: no render.eps span exported under $TID"; exit 1; }
+echo "smoke: traced render propagated $TID into the span log"
+
+# Work-map endpoint (enabled above) must answer with a PNG.
+curl -sf "$BASE/debug/workmap?dataset=crime&res=64x48&eps=0.05&layer=evals" \
+    -o "$ART/serve.workmap.png" \
+    || { echo "smoke: /debug/workmap failed"; cat "$LOG"; exit 1; }
+file_sig="$(head -c 4 "$ART/serve.workmap.png" | od -An -tx1 | tr -d ' \n')"
+[ "$file_sig" = "89504e47" ] \
+    || { echo "smoke: /debug/workmap did not return a PNG"; exit 1; }
+echo "smoke: /debug/workmap served a work-map PNG"
+
+# CLI artifacts: one traced render with a work map; the trace must be a
+# Chrome trace-event file Perfetto can load (a JSON object with
+# traceEvents), the work map a PNG.
+go run ./cmd/kdvrender -gen crime -n 3000 -res 128x96 \
+    -o "$ART/render.png" -workmap evals -trace "$ART/render.trace.json" 2>/dev/null \
+    || { echo "smoke: kdvrender -workmap -trace failed"; exit 1; }
+grep -q '"traceEvents"' "$ART/render.trace.json" \
+    || { echo "smoke: render trace is not Chrome trace-event JSON"; exit 1; }
+grep -q '"render.eps"' "$ART/render.trace.json" \
+    || { echo "smoke: render trace missing the render.eps span"; exit 1; }
+[ -s "$ART/render.workmap.png" ] \
+    || { echo "smoke: kdvrender work-map PNG missing"; exit 1; }
+echo "smoke: kdvrender artifacts written to $ART"
 
 echo "smoke: PASS"
