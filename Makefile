@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test vet fmt race verify fuzz bench bench-compare smoke clean
+.PHONY: build test vet fmt race verify fuzz bench bench-compare chaos smoke clean
 
 build:
 	$(GO) build ./...
@@ -58,8 +58,17 @@ bench:
 bench-compare:
 	$(GO) run ./cmd/kdvbench -compare BENCH_PR4.json BENCH_PR5.json
 
+# chaos runs the cluster fault-injection suite under the race detector:
+# seeded fault transport + fake clock drive breaker trips/recovery, hedges
+# against hung workers, partial-merge degradation, and bit-identity of
+# k-of-n merges against the single-process oracle.
+chaos:
+	$(GO) test -race -count=1 ./internal/cluster/...
+
 # smoke boots kdvserve, waits for /readyz, renders once, and asserts the
 # /metrics scrape saw the work — the end-to-end check of the telemetry path.
+# Then boots a coordinator + two shard workers, kills one, and asserts the
+# render degrades to a 200 partial raster with X-KDV-Complete: false.
 smoke:
 	./scripts/smoke.sh
 

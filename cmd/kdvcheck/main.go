@@ -47,7 +47,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		kernels  = fs.String("kernels", "", "comma-separated kernels (default all)")
 		methods  = fs.String("methods", "", "comma-separated methods (default all)")
 		workers  = fs.Int("workers", 1, "render workers")
-		quick    = fs.Bool("quick", false, "skip the bound-dominance and metamorphic passes")
+		quick    = fs.Bool("quick", false, "skip the bound-dominance, metamorphic, and shard-merge passes")
 		jsonPath = fs.String("json", "", "also write the JSON report to this path")
 		pprof    = fs.String("pprof-addr", "", "side listener for net/http/pprof and expvar (empty disables)")
 	)
@@ -70,6 +70,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		Seed:            *seed,
 		SkipBounds:      *quick,
 		SkipMetamorphic: *quick,
+		SkipSharding:    *quick,
 	}
 	var err error
 	if cfg.Res, err = parseRes(*res); err != nil {

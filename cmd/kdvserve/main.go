@@ -26,6 +26,15 @@
 // lines; without it only requests carrying a W3C traceparent header are
 // traced. -enable-workmap exposes GET /debug/workmap, serving the
 // per-pixel work rasters (refinement depth, node evals, bound gap) as PNG.
+//
+// Scale-out: the same binary runs as a shard worker or a fan-out
+// coordinator. `kdvserve -worker -addr :8081` serves the internal
+// shard-render API; `kdvserve -workers host:8081,host:8082` makes /render a
+// coordinator that partitions each render across the workers by Z-order
+// data shard and merges the rasters additively, with per-worker circuit
+// breakers, jittered retries, and hedged requests against stragglers. When
+// workers stay unreachable the merged raster of the live shards is served
+// with X-KDV-Complete: false and X-KDV-Shards: k/n.
 package main
 
 import (
@@ -36,9 +45,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"github.com/quadkdv/quad/internal/cluster"
 	"github.com/quadkdv/quad/internal/serve"
 	"github.com/quadkdv/quad/internal/telemetry"
 )
@@ -61,8 +72,24 @@ func run() int {
 		slowQuery       = flag.Duration("slow-query", 0, "log any request at least this slow as a JSON line on stderr (0 disables)")
 		traceLog        = flag.String("trace-log", "", "trace every request and append its spans as JSON lines to this file ('-' for stderr; empty traces only requests carrying a traceparent)")
 		enableWorkMap   = flag.Bool("enable-workmap", false, "serve GET /debug/workmap (per-pixel work-map PNGs; off by default, renders are full-price)")
+
+		workerMode      = flag.Bool("worker", false, "run as a shard-render worker (internal API only) instead of the public server")
+		workers         = flag.String("workers", "", "comma-separated worker addresses (host:port); makes /render a sharded fan-out coordinator")
+		shards          = flag.Int("shards", 0, "shard count for the coordinator's Z-order partition (0 = number of workers)")
+		shardReplicas   = flag.Int("shard-replicas", 1, "max distinct workers a shard's retries/hedges may route across (1 = strict partition)")
+		shardAttempts   = flag.Int("shard-attempts", 3, "max tries per shard, including the first")
+		hedgeDelay      = flag.Duration("hedge-delay", 0, "fixed delay before hedging a straggling shard request (0 = adaptive p95 of recent latencies)")
+		breakerCooldown = flag.Duration("breaker-cooldown", 5*time.Second, "how long a tripped worker circuit breaker stays open before probing")
 	)
 	flag.Parse()
+
+	if *workerMode && *workers != "" {
+		log.Printf("kdvserve: -worker and -workers are mutually exclusive")
+		return 2
+	}
+	if *workerMode {
+		return runWorker(*addr, *shutdownTimeout, *pprofAddr, *traceLog)
+	}
 
 	cfg := serve.Config{
 		DefaultN:       *n,
@@ -86,6 +113,25 @@ func run() int {
 		}
 		defer f.Close()
 		cfg.TraceLog = f
+	}
+	if *workers != "" {
+		reg := telemetry.NewRegistry()
+		coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+			Workers:     strings.Split(*workers, ","),
+			Shards:      *shards,
+			Replicas:    *shardReplicas,
+			MaxAttempts: *shardAttempts,
+			HedgeDelay:  *hedgeDelay,
+			Breaker:     cluster.BreakerConfig{Cooldown: *breakerCooldown},
+		}, reg)
+		if err != nil {
+			log.Printf("kdvserve: coordinator: %v", err)
+			return 1
+		}
+		cfg.Registry = reg
+		cfg.Cluster = coord
+		log.Printf("kdvserve: coordinating %d workers, %d shards (replicas=%d, attempts=%d)",
+			len(coord.Workers()), coord.Shards(), *shardReplicas, *shardAttempts)
 	}
 	s := serve.NewServerWith(cfg)
 	srv := &http.Server{
@@ -139,5 +185,66 @@ func run() int {
 		return 1
 	}
 	log.Printf("kdvserve: drained, exiting cleanly")
+	return 0
+}
+
+// runWorker serves the internal shard-render API: the same binary, pointed
+// at by a coordinator's -workers list.
+func runWorker(addr string, shutdownTimeout time.Duration, pprofAddr, traceLog string) int {
+	wcfg := cluster.WorkerConfig{}
+	switch traceLog {
+	case "":
+	case "-":
+		wcfg.TraceLog = os.Stderr
+	default:
+		f, err := os.OpenFile(traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Printf("kdvserve: trace log: %v", err)
+			return 1
+		}
+		defer f.Close()
+		wcfg.TraceLog = f
+	}
+	w := cluster.NewWorker(wcfg)
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           w.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if pprofAddr != "" {
+		bound, err := telemetry.StartDebug(pprofAddr, w.Registry())
+		if err != nil {
+			log.Printf("kdvserve: pprof listener: %v", err)
+			return 1
+		}
+		log.Printf("kdvserve: debug listener on %s (pprof, expvar, metrics)", bound)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("kdvserve: worker listening on %s (%s)", addr, cluster.ShardRenderPath)
+
+	select {
+	case err := <-errc:
+		log.Printf("kdvserve: %v", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("kdvserve: worker shutdown signal received, draining for up to %s", shutdownTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("kdvserve: drain incomplete: %v", err)
+		_ = srv.Close()
+		return 1
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("kdvserve: %v", err)
+		return 1
+	}
+	log.Printf("kdvserve: worker drained, exiting cleanly")
 	return 0
 }

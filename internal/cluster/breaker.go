@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: requests flow; outcomes are sampled into the sliding
+	// window and a high failure rate trips the breaker open.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: the cooldown elapsed; a bounded number of probe
+	// requests test the worker. Probe failures reopen, enough probe
+	// successes close.
+	BreakerHalfOpen
+	// BreakerOpen: requests are refused without touching the worker until
+	// the cooldown elapses.
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes a per-worker circuit breaker. Zero fields take
+// defaults.
+type BreakerConfig struct {
+	// Window is the sliding outcome window length (default 10 samples).
+	Window int
+	// FailureRate in [0,1] trips the breaker when at least MinSamples
+	// outcomes are in the window and the failing fraction reaches it
+	// (default 0.5).
+	FailureRate float64
+	// MinSamples is the minimum window occupancy before the rate can trip
+	// (default 5), so one failed request on a fresh breaker doesn't open it.
+	MinSamples int
+	// Cooldown is how long the breaker stays open before probing
+	// (default 5s).
+	Cooldown time.Duration
+	// HalfOpenProbes is how many consecutive probe successes close a
+	// half-open breaker (default 2). Probe concurrency is bounded to the
+	// same number.
+	HalfOpenProbes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 10
+	}
+	if c.FailureRate <= 0 || c.FailureRate > 1 {
+		c.FailureRate = 0.5
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 5
+	}
+	if c.MinSamples > c.Window {
+		c.MinSamples = c.Window
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 2
+	}
+	return c
+}
+
+// breaker is a closed/half-open/open circuit breaker with failure-rate
+// tripping over a count-based sliding window. It is safe for concurrent use;
+// time is injected so tests are deterministic.
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu            sync.Mutex
+	state         BreakerState
+	window        []bool // ring buffer of outcomes (true = failure)
+	head, n       int
+	openUntil     time.Time
+	halfOpenSince time.Time
+	probes        int // probes currently in flight
+	probeOK       int // successful probes this half-open episode
+
+	onState func(BreakerState) // optional transition hook (metrics)
+}
+
+func newBreaker(cfg BreakerConfig, now func() time.Time) *breaker {
+	cfg = cfg.withDefaults()
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{cfg: cfg, now: now, window: make([]bool, cfg.Window)}
+}
+
+func (b *breaker) setState(s BreakerState) {
+	if b.state == s {
+		return
+	}
+	b.state = s
+	if b.onState != nil {
+		b.onState(s)
+	}
+}
+
+// State reports the breaker's current position (advancing open → half-open
+// when the cooldown has elapsed).
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked()
+	return b.state
+}
+
+func (b *breaker) advanceLocked() {
+	now := b.now()
+	if b.state == BreakerOpen && !now.Before(b.openUntil) {
+		b.setState(BreakerHalfOpen)
+		b.probes, b.probeOK = 0, 0
+		b.halfOpenSince = now
+	}
+	// Self-heal: a probe whose outcome was never recorded (e.g. the caller
+	// vanished mid-probe) must not wedge the half-open state with no free
+	// slots; after a full cooldown of silence the probe budget refreshes.
+	if b.state == BreakerHalfOpen && now.Sub(b.halfOpenSince) >= b.cfg.Cooldown {
+		b.probes, b.probeOK = 0, 0
+		b.halfOpenSince = now
+	}
+}
+
+// Allow reports whether a request may be sent to the worker right now. In
+// the half-open state it admits at most HalfOpenProbes concurrent probes.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		if b.probes < b.cfg.HalfOpenProbes {
+			b.probes++
+			return true
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// Record folds one definitive request outcome into the breaker. Outcomes
+// cancelled for reasons unrelated to the worker (a hedge lost its race, the
+// caller went away) must not be recorded.
+func (b *breaker) Record(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked()
+	switch b.state {
+	case BreakerHalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		if !success {
+			b.tripLocked()
+			return
+		}
+		b.probeOK++
+		if b.probeOK >= b.cfg.HalfOpenProbes {
+			// Recovered: close with a clean window.
+			b.head, b.n = 0, 0
+			b.setState(BreakerClosed)
+		}
+	case BreakerClosed:
+		b.window[b.head] = !success
+		b.head = (b.head + 1) % len(b.window)
+		if b.n < len(b.window) {
+			b.n++
+		}
+		if b.n >= b.cfg.MinSamples {
+			fails := 0
+			for i := 0; i < b.n; i++ {
+				if b.window[i] {
+					fails++
+				}
+			}
+			if float64(fails)/float64(b.n) >= b.cfg.FailureRate {
+				b.tripLocked()
+			}
+		}
+	default:
+		// Open: a straggler from before the trip; nothing to update.
+	}
+}
+
+func (b *breaker) tripLocked() {
+	b.openUntil = b.now().Add(b.cfg.Cooldown)
+	b.head, b.n = 0, 0
+	b.setState(BreakerOpen)
+}

@@ -1,0 +1,257 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable breaker clock.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func newTestBreaker(cfg BreakerConfig) (*breaker, *fakeClock) {
+	clk := newFakeClock()
+	return newBreaker(cfg, clk.now), clk
+}
+
+func TestBreakerTripsAtFailureRate(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{Window: 10, FailureRate: 0.5, MinSamples: 5, Cooldown: time.Second})
+	// Four failures: below MinSamples, must stay closed.
+	for i := 0; i < 4; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.Record(false)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after 4 failures = %v, want closed (MinSamples=5)", got)
+	}
+	// Fifth failure reaches MinSamples with rate 1.0 ≥ 0.5: trips.
+	b.Record(false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after 5 failures = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request")
+	}
+}
+
+func TestBreakerSuccessesKeepItClosed(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{Window: 10, FailureRate: 0.5, MinSamples: 5})
+	// 40% failures in the full window, and no prefix of length ≥ MinSamples
+	// ever reaches the 50% trip rate either (the check runs per Record).
+	for _, ok := range []bool{true, true, true, false, true, true, false, true, false, false} {
+		b.Record(ok)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed at 40%% failure rate", got)
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	cfg := BreakerConfig{Window: 10, FailureRate: 0.5, MinSamples: 3, Cooldown: time.Second, HalfOpenProbes: 2}
+	b, clk := newTestBreaker(cfg)
+	for i := 0; i < 3; i++ {
+		b.Record(false)
+	}
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+
+	// Mid-cooldown: still open.
+	clk.advance(500 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("breaker admitted a request mid-cooldown")
+	}
+
+	// Cooldown elapsed: half-open, at most HalfOpenProbes concurrent probes.
+	clk.advance(600 * time.Millisecond)
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", got)
+	}
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("half-open breaker refused its probe budget")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted more than HalfOpenProbes concurrent probes")
+	}
+
+	// Both probes succeed: closed again, window clean.
+	b.Record(true)
+	b.Record(true)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after successful probes = %v, want closed", got)
+	}
+	// A single failure on the fresh window must not re-trip (MinSamples).
+	b.Record(false)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after one failure post-recovery = %v, want closed", got)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	cfg := BreakerConfig{Window: 10, FailureRate: 0.5, MinSamples: 3, Cooldown: time.Second, HalfOpenProbes: 2}
+	b, clk := newTestBreaker(cfg)
+	for i := 0; i < 3; i++ {
+		b.Record(false)
+	}
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	b.Record(false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open again", got)
+	}
+	// And the new cooldown starts from the failed probe.
+	clk.advance(500 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("reopened breaker admitted a request mid-second-cooldown")
+	}
+	clk.advance(600 * time.Millisecond)
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state after second cooldown = %v, want half-open", got)
+	}
+}
+
+func TestBreakerHalfOpenSelfHeals(t *testing.T) {
+	// A probe slot taken by a caller that never records an outcome must not
+	// wedge the breaker forever.
+	cfg := BreakerConfig{Window: 10, FailureRate: 0.5, MinSamples: 3, Cooldown: time.Second, HalfOpenProbes: 1}
+	b, clk := newTestBreaker(cfg)
+	for i := 0; i < 3; i++ {
+		b.Record(false)
+	}
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	// The probe's outcome is never recorded. After a full further cooldown
+	// of silence the probe budget refreshes.
+	if b.Allow() {
+		t.Fatal("expected probe budget exhausted")
+	}
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("half-open breaker did not self-heal a leaked probe slot")
+	}
+}
+
+func TestBreakerStateHook(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{Window: 4, FailureRate: 0.5, MinSamples: 2, Cooldown: time.Second, HalfOpenProbes: 1})
+	var transitions []BreakerState
+	b.onState = func(s BreakerState) { transitions = append(transitions, s) }
+	b.Record(false)
+	b.Record(false) // trip
+	clk.advance(1100 * time.Millisecond)
+	b.Allow()      // half-open probe
+	b.Record(true) // close
+	want := []BreakerState{BreakerOpen, BreakerHalfOpen, BreakerClosed}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %v, want %v", i, transitions[i], want[i])
+		}
+	}
+}
+
+func TestBreakerOpenIgnoresStragglers(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{Window: 4, FailureRate: 0.5, MinSamples: 2, Cooldown: time.Minute})
+	b.Record(false)
+	b.Record(false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	// Stragglers from before the trip arrive late: no effect.
+	b.Record(true)
+	b.Record(false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after stragglers = %v, want open", got)
+	}
+}
+
+func TestRingWalkDeterministicAndDistinct(t *testing.T) {
+	r := newRing(5)
+	a := r.walk("shard-3/render-key", 5)
+	b := r.walk("shard-3/render-key", 5)
+	if len(a) != 5 {
+		t.Fatalf("walk returned %d workers, want 5", len(a))
+	}
+	seen := map[int]bool{}
+	for i, w := range a {
+		if w != b[i] {
+			t.Fatalf("walk not deterministic: %v vs %v", a, b)
+		}
+		if w < 0 || w >= 5 {
+			t.Fatalf("walk returned out-of-range worker %d", w)
+		}
+		if seen[w] {
+			t.Fatalf("walk repeated worker %d: %v", w, a)
+		}
+		seen[w] = true
+	}
+	// max caps the walk.
+	if got := r.walk("another-key", 2); len(got) != 2 {
+		t.Fatalf("walk(max=2) returned %d workers", len(got))
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	r := newRing(4)
+	first := map[int]int{}
+	for i := 0; i < 256; i++ {
+		w := r.walk(string(rune('a'+i%26))+"/key/"+string(rune('0'+i%10))+string(rune('A'+i%7)), 1)[0]
+		first[w]++
+	}
+	for w := 0; w < 4; w++ {
+		if first[w] == 0 {
+			t.Fatalf("worker %d never preferred across 256 keys: %v", w, first)
+		}
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	b := newBackoff(20*time.Millisecond, 200*time.Millisecond, 42)
+	for attempt := 0; attempt < 8; attempt++ {
+		full := 20 * time.Millisecond << uint(attempt)
+		if full > 200*time.Millisecond || full <= 0 {
+			full = 200 * time.Millisecond
+		}
+		for i := 0; i < 100; i++ {
+			d := b.delay(attempt)
+			if d < full/2 || d > full {
+				t.Fatalf("delay(%d) = %v outside [%v, %v]", attempt, d, full/2, full)
+			}
+		}
+	}
+}
+
+func TestBackoffDeterministicWithSeed(t *testing.T) {
+	a := newBackoff(20*time.Millisecond, time.Second, 7)
+	b := newBackoff(20*time.Millisecond, time.Second, 7)
+	for i := 0; i < 20; i++ {
+		if da, db := a.delay(i%4), b.delay(i%4); da != db {
+			t.Fatalf("same-seed backoffs diverged at %d: %v vs %v", i, da, db)
+		}
+	}
+}
+
+func TestLatencyTrackerQuantile(t *testing.T) {
+	l := newLatencyTracker(64)
+	if got := l.quantile(0.95, 16, 150*time.Millisecond); got != 150*time.Millisecond {
+		t.Fatalf("quantile below minSamples = %v, want fallback", got)
+	}
+	for i := 1; i <= 20; i++ {
+		l.observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := l.quantile(0.95, 16, 0); got < 18*time.Millisecond || got > 20*time.Millisecond {
+		t.Fatalf("p95 of 1..20ms = %v", got)
+	}
+	if got := l.quantile(0, 16, 0); got != time.Millisecond {
+		t.Fatalf("p0 = %v, want 1ms", got)
+	}
+}

@@ -1,0 +1,185 @@
+// Package faultinject is a deterministic fault-injection harness for HTTP
+// clients: a RoundTripper wrapper that applies programmable per-host faults
+// — added latency, transport errors, synthetic status codes, hangs, and
+// seeded probabilistic failures — before (or instead of) forwarding to the
+// real transport.
+//
+// Faults are scripted per destination host as a FIFO of Actions plus an
+// optional default applied once the queue drains, so a test can express
+// "fail twice, then recover", "hang forever", or "flap with probability p
+// under seed s" and replay it exactly. The chaos suite in package cluster
+// drives the coordinator's breakers, retries, and hedges through this
+// transport against real in-process workers.
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Action is one scripted fault. Fields compose in order: Delay first, then
+// Hang, then Err / Status / FailProb; an all-zero Action passes the request
+// through untouched.
+type Action struct {
+	// Delay sleeps before acting (cancelled cleanly by the request context).
+	Delay time.Duration
+	// Hang blocks until the request context ends, then returns its error —
+	// a worker that accepts the connection and never answers.
+	Hang bool
+	// Err fails the round trip with a transport error.
+	Err error
+	// Status short-circuits with a synthetic empty response of this code
+	// (e.g. 503 from a dying worker) without touching the real server.
+	Status int
+	// FailProb fails the round trip with probability FailProb using the
+	// transport's seeded source — a flapping worker. Applied after Err and
+	// Status.
+	FailProb float64
+	// Repeat stretches the action over 1+Repeat requests before the queue
+	// advances (0 → the action applies once).
+	Repeat int
+}
+
+// errInjected is the transport error produced by Status-less failures.
+type errInjected struct{ host, kind string }
+
+func (e *errInjected) Error() string {
+	return fmt.Sprintf("faultinject: %s fault for %s", e.kind, e.host)
+}
+
+// Transport wraps an http.RoundTripper with scripted per-host faults. It is
+// safe for concurrent use; with a fixed seed and a deterministic request
+// order the produced fault sequence is reproducible.
+type Transport struct {
+	next http.RoundTripper
+
+	mu       sync.Mutex
+	rnd      *rand.Rand
+	queues   map[string][]Action
+	uses     map[string]int // requests served by the queue head so far
+	defaults map[string]Action
+	calls    map[string]int
+}
+
+// New wraps next (nil → http.DefaultTransport) with a fault script seeded
+// for reproducible FailProb draws.
+func New(next http.RoundTripper, seed int64) *Transport {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &Transport{
+		next:     next,
+		rnd:      rand.New(rand.NewSource(seed)),
+		queues:   make(map[string][]Action),
+		uses:     make(map[string]int),
+		defaults: make(map[string]Action),
+		calls:    make(map[string]int),
+	}
+}
+
+// Push appends actions to host's FIFO. Each queued action is consumed by
+// 1+Repeat requests; once the queue drains the host's default applies.
+func (t *Transport) Push(host string, actions ...Action) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.queues[host] = append(t.queues[host], actions...)
+}
+
+// SetDefault sets the action applied to host once (and while) its queue is
+// empty. The zero Action passes requests through.
+func (t *Transport) SetDefault(host string, a Action) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.defaults[host] = a
+}
+
+// Reset clears every script and counter (the seeded source keeps its
+// position).
+func (t *Transport) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.queues = make(map[string][]Action)
+	t.uses = make(map[string]int)
+	t.defaults = make(map[string]Action)
+	t.calls = make(map[string]int)
+}
+
+// Calls reports how many round trips have been attempted against host
+// (including ones that were failed or hung by the script).
+func (t *Transport) Calls(host string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.calls[host]
+}
+
+// take pops the next action for host and draws any probabilistic decision
+// under the lock, so concurrent requests consume the script in a serialized,
+// reproducible order.
+func (t *Transport) take(host string) (a Action, probFail bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.calls[host]++
+	if q := t.queues[host]; len(q) > 0 {
+		a = q[0]
+		t.uses[host]++
+		if t.uses[host] > a.Repeat {
+			t.queues[host] = q[1:]
+			t.uses[host] = 0
+		}
+	} else {
+		a = t.defaults[host]
+	}
+	if a.FailProb > 0 {
+		probFail = t.rnd.Float64() < a.FailProb
+	}
+	return a, probFail
+}
+
+// RoundTrip applies host's next scripted fault to req.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	a, probFail := t.take(host)
+	ctx := req.Context()
+	if a.Delay > 0 {
+		if err := sleep(ctx, a.Delay); err != nil {
+			return nil, err
+		}
+	}
+	if a.Hang {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	if a.Err != nil {
+		return nil, a.Err
+	}
+	if a.Status != 0 {
+		return &http.Response{
+			StatusCode: a.Status,
+			Status:     fmt.Sprintf("%d %s", a.Status, http.StatusText(a.Status)),
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:        http.Header{"Content-Type": []string{"text/plain"}},
+			Body:          http.NoBody,
+			ContentLength: 0,
+			Request:       req,
+		}, nil
+	}
+	if probFail {
+		return nil, &errInjected{host: host, kind: "flap"}
+	}
+	return t.next.RoundTrip(req)
+}
+
+func sleep(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,62 @@
+package cluster
+
+import "github.com/quadkdv/quad/internal/telemetry"
+
+// clusterMetrics are the coordinator's telemetry families. Per-worker series
+// are pre-registered at construction so the hot path is lookup-free and the
+// /metrics exposition order is deterministic.
+type clusterMetrics struct {
+	// attempts[worker][result] — kdv_cluster_attempts_total{worker,result}.
+	attempts []map[string]*telemetry.Counter
+	// shardRenders[outcome] — kdv_cluster_shard_renders_total{outcome}.
+	shardRenders map[string]*telemetry.Counter
+	// fanouts[outcome] — kdv_cluster_fanouts_total{outcome}.
+	fanouts map[string]*telemetry.Counter
+	// breakerState[worker] — kdv_cluster_breaker_state{worker}
+	// (0 closed, 1 half-open, 2 open).
+	breakerState []*telemetry.Gauge
+	retries      *telemetry.Counter
+	hedges       *telemetry.Counter
+	hedgeWins    *telemetry.Counter
+}
+
+func newClusterMetrics(reg *telemetry.Registry, workers []string) *clusterMetrics {
+	m := &clusterMetrics{
+		attempts:     make([]map[string]*telemetry.Counter, len(workers)),
+		shardRenders: make(map[string]*telemetry.Counter, 2),
+		fanouts:      make(map[string]*telemetry.Counter, 3),
+		breakerState: make([]*telemetry.Gauge, len(workers)),
+	}
+	for i, w := range workers {
+		m.attempts[i] = map[string]*telemetry.Counter{
+			"ok": reg.Counter("kdv_cluster_attempts_total",
+				"Shard-render RPC attempts by worker and result.",
+				telemetry.L("worker", w), telemetry.L("result", "ok")),
+			"error": reg.Counter("kdv_cluster_attempts_total",
+				"Shard-render RPC attempts by worker and result.",
+				telemetry.L("worker", w), telemetry.L("result", "error")),
+		}
+	}
+	m.retries = reg.Counter("kdv_cluster_retries_total",
+		"Shard fetches retried after a failed attempt.")
+	m.hedges = reg.Counter("kdv_cluster_hedges_total",
+		"Hedged (straggler-racing) shard requests launched.")
+	m.hedgeWins = reg.Counter("kdv_cluster_hedge_wins_total",
+		"Hedged requests that beat the primary to first success.")
+	for _, oc := range []string{"ok", "dead"} {
+		m.shardRenders[oc] = reg.Counter("kdv_cluster_shard_renders_total",
+			"Per-shard fan-out outcomes across all renders.",
+			telemetry.L("outcome", oc))
+	}
+	for _, oc := range []string{"complete", "partial", "error"} {
+		m.fanouts[oc] = reg.Counter("kdv_cluster_fanouts_total",
+			"Distributed renders by completeness outcome.",
+			telemetry.L("outcome", oc))
+	}
+	for i, w := range workers {
+		m.breakerState[i] = reg.Gauge("kdv_cluster_breaker_state",
+			"Per-worker circuit-breaker state (0 closed, 1 half-open, 2 open).",
+			telemetry.L("worker", w))
+	}
+	return m
+}

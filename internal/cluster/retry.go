@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// backoff computes the jittered exponential retry delay for the given
+// attempt (0-based: the delay taken before attempt 1, 2, …). The jitter is
+// "full jitter": uniform in [base/2, base], which decorrelates retry storms
+// across shards and coordinators while keeping a floor so retries are not
+// immediate.
+type backoff struct {
+	base time.Duration
+	max  time.Duration
+
+	mu  sync.Mutex
+	rnd *rand.Rand
+}
+
+func newBackoff(base, max time.Duration, seed int64) *backoff {
+	if base <= 0 {
+		base = 25 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 1 * time.Second
+	}
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &backoff{base: base, max: max, rnd: rand.New(rand.NewSource(seed))}
+}
+
+func (b *backoff) delay(attempt int) time.Duration {
+	d := b.base << uint(attempt)
+	if d > b.max || d <= 0 {
+		d = b.max
+	}
+	b.mu.Lock()
+	f := 0.5 + 0.5*b.rnd.Float64()
+	b.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// latencyTracker keeps a bounded ring of recent successful shard-render
+// latencies and answers quantile queries — the adaptive source of the hedge
+// delay ("hedge after the p95 of recent latencies").
+type latencyTracker struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	head, n int
+}
+
+func newLatencyTracker(window int) *latencyTracker {
+	if window <= 0 {
+		window = 128
+	}
+	return &latencyTracker{samples: make([]time.Duration, window)}
+}
+
+func (l *latencyTracker) observe(d time.Duration) {
+	l.mu.Lock()
+	l.samples[l.head] = d
+	l.head = (l.head + 1) % len(l.samples)
+	if l.n < len(l.samples) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// quantile returns the q-quantile (q in [0,1]) of the recorded window, or
+// fallback when fewer than minSamples latencies have been observed.
+func (l *latencyTracker) quantile(q float64, minSamples int, fallback time.Duration) time.Duration {
+	l.mu.Lock()
+	if l.n < minSamples {
+		l.mu.Unlock()
+		return fallback
+	}
+	buf := make([]time.Duration, l.n)
+	copy(buf, l.samples[:l.n])
+	l.mu.Unlock()
+	sort.Slice(buf, func(a, b int) bool { return buf[a] < buf[b] })
+	i := int(q * float64(len(buf)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(buf) {
+		i = len(buf) - 1
+	}
+	return buf[i]
+}

@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over worker indices with virtual nodes. It
+// gives every routing key a stable worker preference order: the same
+// (shard, tile/bbox) key always walks the same sequence of workers, so
+// repeated requests for one viewport land on workers whose shard-KDV builds
+// and OS page cache are already warm — and failover for a given key is
+// sticky too, instead of scattering cold builds across the fleet.
+type ring struct {
+	hashes  []uint64
+	workers []int // parallel to hashes: worker index owning the vnode
+	n       int
+}
+
+const vnodesPerWorker = 64
+
+func newRing(n int) *ring {
+	r := &ring{n: n}
+	r.hashes = make([]uint64, 0, n*vnodesPerWorker)
+	r.workers = make([]int, 0, n*vnodesPerWorker)
+	type vnode struct {
+		h uint64
+		w int
+	}
+	vns := make([]vnode, 0, n*vnodesPerWorker)
+	for w := 0; w < n; w++ {
+		for v := 0; v < vnodesPerWorker; v++ {
+			vns = append(vns, vnode{h: hash64(fmt.Sprintf("worker-%d#%d", w, v)), w: w})
+		}
+	}
+	sort.Slice(vns, func(a, b int) bool {
+		if vns[a].h != vns[b].h {
+			return vns[a].h < vns[b].h
+		}
+		return vns[a].w < vns[b].w
+	})
+	for _, v := range vns {
+		r.hashes = append(r.hashes, v.h)
+		r.workers = append(r.workers, v.w)
+	}
+	return r
+}
+
+// walk returns the ring's preference order for key: the first max distinct
+// workers encountered walking clockwise from the key's hash.
+func (r *ring) walk(key string, max int) []int {
+	if max > r.n {
+		max = r.n
+	}
+	out := make([]int, 0, max)
+	if max <= 0 || len(r.hashes) == 0 {
+		return out
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	seen := make([]bool, r.n)
+	for i := 0; i < len(r.hashes) && len(out) < max; i++ {
+		w := r.workers[(start+i)%len(r.hashes)]
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -5,9 +5,11 @@
 // guarantee pixel-by-pixel, exact τKDV classification, bit-identical hot
 // masks between tile-shared and per-pixel refinement, the bound-dominance
 // invariants (LB ≤ F ≤ UB on every node; QUAD ⊆ KARL ⊆ min-max interval
-// nesting for the Gaussian kernel), and a set of metamorphic properties
+// nesting for the Gaussian kernel), a set of metamorphic properties
 // (translation/scale invariance, weight linearity, duplication ≡ weight
-// doubling, sampling monotonicity).
+// doubling, sampling monotonicity), and the additive shard-merge contract
+// behind the scale-out coordinator (per-shard WithShard rasters sum to the
+// single-process result within the same ε).
 //
 // The individual Check* helpers are pure functions over rasters, masks, and
 // an injectable Bounder, so the suite can prove its own teeth: mutation
@@ -56,10 +58,11 @@ type Config struct {
 	Workers int
 	// Seed drives the query sampling of the bound-dominance pass.
 	Seed int64
-	// SkipBounds / SkipMetamorphic drop those passes (used to scope fast
-	// CLI runs; the full suite runs everything).
+	// SkipBounds / SkipMetamorphic / SkipSharding drop those passes (used
+	// to scope fast CLI runs; the full suite runs everything).
 	SkipBounds      bool
 	SkipMetamorphic bool
+	SkipSharding    bool
 }
 
 func (c *Config) setDefaults() error {
@@ -170,6 +173,11 @@ func Run(cfg Config) (*Report, error) {
 	}
 	if !cfg.SkipMetamorphic {
 		if err := runMetamorphic(&cfg, rep); err != nil {
+			return nil, err
+		}
+	}
+	if !cfg.SkipSharding {
+		if err := runSharding(&cfg, rep); err != nil {
 			return nil, err
 		}
 	}

@@ -48,6 +48,10 @@ func TestRunFullSuite(t *testing.T) {
 		"metamorphic/scale/eps",
 		"metamorphic/duplication/render-agreement",
 		"metamorphic/sampling-monotonicity",
+		"shard-merge/gaussian/exact/shards=2",
+		"shard-merge/gaussian/quad/shards=4",
+		"shard-window/gaussian/quad/shards=2/i=1",
+		"shard-determinism/gaussian/quad/i=0-of-2",
 	} {
 		if !hasCheck(rep, want) {
 			t.Errorf("suite did not run check %q", want)

@@ -96,16 +96,27 @@ func (c *kdvCache) getOutcome(ctx context.Context, key string, build func() (*qu
 	c.mu.Unlock()
 	c.misses.Inc()
 
-	call.kdv, call.err = build()
-
-	c.mu.Lock()
-	delete(c.building, key)
-	if call.err == nil {
-		c.insertLocked(key, call.kdv)
+	// The build runs detached from the initiating request's context: if
+	// that first caller disconnects (or times out) mid-build, the build
+	// still completes and lands in the cache, and the coalesced waiters get
+	// the real result instead of inheriting the initiator's cancellation.
+	go func() {
+		kdv, err := build()
+		c.mu.Lock()
+		delete(c.building, key)
+		if err == nil {
+			c.insertLocked(key, kdv)
+		}
+		call.kdv, call.err = kdv, err
+		c.mu.Unlock()
+		close(call.done)
+	}()
+	select {
+	case <-call.done:
+		return call.kdv, "miss", call.err
+	case <-ctx.Done():
+		return nil, "miss", ctx.Err()
 	}
-	c.mu.Unlock()
-	close(call.done)
-	return call.kdv, "miss", call.err
 }
 
 func (c *kdvCache) insertLocked(key string, k *quad.KDV) {

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"image/png"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"github.com/quadkdv/quad/internal/cluster"
+	"github.com/quadkdv/quad/internal/cluster/faultinject"
+	"github.com/quadkdv/quad/internal/telemetry"
+)
+
+// clusterServer wires a full coordinator-mode serving stack: a public
+// server whose /render fans out to nWorkers real in-process shard workers
+// through a fault-injection transport.
+func clusterServer(t *testing.T, nWorkers int, mutate func(*cluster.CoordinatorConfig)) (*httptest.Server, *faultinject.Transport, []string) {
+	t.Helper()
+	fi := faultinject.New(nil, 1)
+	var urls, hosts []string
+	for i := 0; i < nWorkers; i++ {
+		w := httptest.NewServer(cluster.NewWorker(cluster.WorkerConfig{}).Handler())
+		t.Cleanup(w.Close)
+		u, err := url.Parse(w.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		urls = append(urls, w.URL)
+		hosts = append(hosts, u.Host)
+	}
+	ccfg := cluster.CoordinatorConfig{
+		Workers:      urls,
+		Client:       &http.Client{Transport: fi},
+		Seed:         1,
+		DisableHedge: true,
+		RetryBase:    time.Millisecond,
+		RetryMax:     4 * time.Millisecond,
+		MaxAttempts:  2,
+	}
+	if mutate != nil {
+		mutate(&ccfg)
+	}
+	reg := telemetry.NewRegistry()
+	coord, err := cluster.NewCoordinator(ccfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServerWith(Config{DefaultN: 3000, Registry: reg, Cluster: coord})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, fi, hosts
+}
+
+func TestClusterRenderComplete(t *testing.T) {
+	ts, _, _ := clusterServer(t, 2, nil)
+	resp := get(t, ts.URL+"/render?dataset=crime&n=400&res=32x24&eps=0.05")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-KDV-Complete"); got != "true" {
+		t.Fatalf("X-KDV-Complete = %q, want true", got)
+	}
+	if got := resp.Header.Get("X-KDV-Shards"); got != "2/2" {
+		t.Fatalf("X-KDV-Shards = %q, want 2/2", got)
+	}
+	img, err := png.Decode(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 32 || img.Bounds().Dy() != 24 {
+		t.Fatalf("image bounds %v", img.Bounds())
+	}
+}
+
+func TestClusterRenderDegradesToPartial(t *testing.T) {
+	ts, fi, hosts := clusterServer(t, 2, nil)
+	// Worker 1 is dead: shard 1 has no replica to fail over to, so the
+	// render degrades to the live shard instead of erroring.
+	fi.SetDefault(hosts[1], faultinject.Action{Status: http.StatusServiceUnavailable})
+	resp := get(t, ts.URL+"/render?dataset=crime&n=400&res=32x24&eps=0.05")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 with a partial raster", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-KDV-Complete"); got != "false" {
+		t.Fatalf("X-KDV-Complete = %q, want false", got)
+	}
+	if got := resp.Header.Get("X-KDV-Shards"); got != "1/2" {
+		t.Fatalf("X-KDV-Shards = %q, want 1/2", got)
+	}
+	if _, err := png.Decode(resp.Body); err != nil {
+		t.Fatalf("partial raster is not a PNG: %v", err)
+	}
+}
+
+func TestClusterAllWorkersDead502(t *testing.T) {
+	ts, fi, hosts := clusterServer(t, 2, nil)
+	for _, h := range hosts {
+		fi.SetDefault(h, faultinject.Action{Status: http.StatusInternalServerError})
+	}
+	resp := get(t, ts.URL+"/render?dataset=crime&n=400&res=16x16&eps=0.05")
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502 when the whole cluster is down", resp.StatusCode)
+	}
+}
+
+func TestClusterZOrderFallsBackToLocal(t *testing.T) {
+	ts, fi, hosts := clusterServer(t, 2, nil)
+	// Even with every worker dead, zorder (not shardable) renders locally.
+	for _, h := range hosts {
+		fi.SetDefault(h, faultinject.Action{Status: http.StatusInternalServerError})
+	}
+	resp := get(t, ts.URL+"/render?dataset=crime&n=400&method=zorder&res=16x16&eps=0.05")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 from the local fallback path", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-KDV-Shards"); got != "" {
+		t.Fatalf("local render carries X-KDV-Shards %q", got)
+	}
+}
+
+func TestClusterOtherEndpointsStayLocal(t *testing.T) {
+	ts, fi, hosts := clusterServer(t, 2, nil)
+	for _, h := range hosts {
+		fi.SetDefault(h, faultinject.Action{Status: http.StatusInternalServerError})
+	}
+	for _, path := range []string{
+		"/hotspots?dataset=crime&n=400&res=16x16&eps=0.05",
+		"/progressive?dataset=crime&n=400&res=16x16&eps=0.05&budget=2s",
+	} {
+		resp := get(t, ts.URL+path)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d, want 200 (local render)", path, resp.StatusCode)
+		}
+	}
+}

@@ -360,6 +360,72 @@ func TestCacheWaiterHonorsContext(t *testing.T) {
 	}
 }
 
+// TestCacheInitiatorDisconnectDoesNotPoisonWaiters: the first caller of a
+// cold key — the one whose request launched the build — disconnecting
+// mid-build must not fail or re-run the build for everyone coalesced behind
+// it. The build runs detached; the initiator gets its context error, the
+// waiters get the finished KDV, and the result lands in the cache.
+func TestCacheInitiatorDisconnectDoesNotPoisonWaiters(t *testing.T) {
+	c := newKDVCache(8)
+	var builds atomic.Int32
+	release := make(chan struct{})
+	building := make(chan struct{})
+	build := func() (*quad.KDV, error) {
+		builds.Add(1)
+		close(building)
+		<-release
+		return quad.New([]float64{0, 0, 1, 1, 2, 2}, 2)
+	}
+
+	// The initiator starts the build, then its client vanishes.
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	initErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.getOutcome(ctx1, "K", build)
+		initErr <- err
+	}()
+	<-building
+	cancel1()
+	if err := <-initErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("initiator err = %v, want context.Canceled", err)
+	}
+
+	// A waiter arriving after the disconnect coalesces onto the still-live
+	// build — its closure must never run.
+	type got struct {
+		kdv *quad.KDV
+		err error
+	}
+	waiter := make(chan got, 1)
+	go func() {
+		k, _, err := c.getOutcome(context.Background(), "K", func() (*quad.KDV, error) {
+			return nil, errors.New("waiter re-ran the build")
+		})
+		waiter <- got{k, err}
+	}()
+	// Give the waiter a moment to coalesce, then finish the build.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+
+	select {
+	case g := <-waiter:
+		if g.err != nil {
+			t.Fatalf("waiter inherited the initiator's fate: %v", g.err)
+		}
+		if g.kdv == nil {
+			t.Fatal("waiter got a nil KDV")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never resolved")
+	}
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("%d builds, want 1", n)
+	}
+	if !c.contains("K") {
+		t.Fatal("finished build did not land in the cache")
+	}
+}
+
 // TestCacheLRUBound: the cache never exceeds its bound and evicts oldest
 // first.
 func TestCacheLRUBound(t *testing.T) {

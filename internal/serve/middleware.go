@@ -8,6 +8,7 @@ import (
 	"log"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"time"
 
 	"github.com/quadkdv/quad/internal/trace"
@@ -97,7 +98,10 @@ func (s *Server) guard(next http.HandlerFunc) http.Handler {
 			case errors.Is(err, errBusy):
 				sp.SetAttrs(trace.Str("outcome", "busy"))
 				sp.End()
-				w.Header().Set("Retry-After", "1")
+				// Jittered Retry-After: a herd of rejected clients that all
+				// honor the header must not come back in the same second
+				// and collide again.
+				w.Header().Set("Retry-After", strconv.Itoa(s.jitterInt(1, 3)))
 				writeError(w, http.StatusTooManyRequests, "server at capacity, retry shortly")
 			case errors.Is(err, context.DeadlineExceeded):
 				sp.SetAttrs(trace.Str("outcome", "timeout"))

@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"runtime"
@@ -45,6 +46,7 @@ import (
 	"time"
 
 	quad "github.com/quadkdv/quad"
+	"github.com/quadkdv/quad/internal/cluster"
 	"github.com/quadkdv/quad/internal/dataset"
 	"github.com/quadkdv/quad/internal/grid"
 	"github.com/quadkdv/quad/internal/render"
@@ -103,6 +105,17 @@ type Config struct {
 	// full-resolution float64 rasters and bypass the KDV cache's PNG path,
 	// so the endpoint is for debugging, not production traffic.
 	EnableWorkMap bool
+	// Registry, when set, receives the server's metric families instead of
+	// a private registry — so a coordinator's cluster metrics and the
+	// serving metrics share one /metrics scrape.
+	Registry *telemetry.Registry
+	// Cluster, when set, turns this server into a fan-out coordinator:
+	// /render requests with a shardable method (anything but zorder) are
+	// partitioned by data shard across the coordinator's workers and the
+	// per-shard rasters merged additively. Degraded merges (dead workers)
+	// are served with X-KDV-Complete: false and X-KDV-Shards: k/n instead
+	// of failing. Other endpoints keep rendering locally.
+	Cluster *cluster.Coordinator
 }
 
 func (c Config) withDefaults() Config {
@@ -150,6 +163,19 @@ type Server struct {
 	warmState atomic.Int32
 	slowMu    sync.Mutex
 	traceMu   sync.Mutex
+
+	// rng drives the serving layer's jitter: randomized Retry-After values
+	// on 429s and the warmup retry backoff — so a synchronized client herd
+	// (or a fleet of replicas behind one probe) doesn't retry in lockstep.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// warmNext/warmFails gate the /readyz-triggered warmup retry loop with
+	// jittered exponential backoff, so a failing warmup build is not
+	// re-launched by every probe of an impatient load balancer.
+	warmMu    sync.Mutex
+	warmNext  time.Time
+	warmFails int
 }
 
 // NewServer returns a Server with sane defaults.
@@ -158,7 +184,10 @@ func NewServer() *Server { return NewServerWith(Config{}) }
 // NewServerWith returns a Server tuned by cfg; zero fields take defaults.
 func NewServerWith(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	reg := telemetry.NewRegistry()
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	s := &Server{
 		DefaultN: cfg.DefaultN,
 		cfg:      cfg,
@@ -166,6 +195,7 @@ func NewServerWith(cfg Config) *Server {
 		adm:      newAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
 		reg:      reg,
 		m:        newMetrics(reg),
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	s.cache.instrument(s.m)
 	s.adm.instrument(s.m)
@@ -175,6 +205,21 @@ func NewServerWith(cfg Config) *Server {
 // Registry exposes the server's metric registry so a debug side listener
 // (telemetry.StartDebug) can serve the same /metrics the main handler does.
 func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// jitterInt returns a uniform int in [lo, hi] from the server's rng.
+func (s *Server) jitterInt(lo, hi int) int {
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	return lo + s.rng.Intn(hi-lo+1)
+}
+
+// jitterDur returns a uniform duration in [d/2, d] ("full jitter"), the
+// same decorrelation shape the cluster coordinator's retry backoff uses.
+func (s *Server) jitterDur(d time.Duration) time.Duration {
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	return d/2 + time.Duration(s.rng.Int63n(int64(d/2)+1))
+}
 
 // Handler returns the HTTP handler tree with the hardening and
 // observability middleware. Ordering, outermost first: requestID (stamps
@@ -227,7 +272,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// request carries the parsed common parameters.
+// request carries the parsed common parameters plus the materialized KDV.
 type request struct {
 	kdv      *quad.KDV
 	res      quad.Resolution
@@ -236,7 +281,47 @@ type request struct {
 	window   quad.Window
 }
 
+// renderParams are the parsed common query parameters before any KDV is
+// built — the form the coordinator path forwards to workers verbatim, so a
+// coordinator never pays for a local dataset build it will not use.
+type renderParams struct {
+	name     string
+	n        int
+	seed     int64
+	kern     quad.Kernel
+	method   quad.Method
+	res      quad.Resolution
+	eps      float64
+	logScale bool
+	window   quad.Window
+}
+
+// parse parses the common parameters and materializes the (cached) KDV —
+// the single-process path used by every local render endpoint.
 func (s *Server) parse(r *http.Request) (*request, error) {
+	p, err := s.parseParams(r)
+	if err != nil {
+		return nil, err
+	}
+	return s.materialize(r.Context(), p)
+}
+
+// materialize builds (or fetches from cache) the KDV for parsed params.
+func (s *Server) materialize(ctx context.Context, p *renderParams) (*request, error) {
+	kdv, err := s.kdvFor(ctx, p.name, p.n, p.seed, p.kern, p.method, p.eps)
+	if err != nil {
+		return nil, err
+	}
+	return &request{
+		kdv:      kdv,
+		res:      p.res,
+		eps:      p.eps,
+		logScale: p.logScale,
+		window:   p.window,
+	}, nil
+}
+
+func (s *Server) parseParams(r *http.Request) (*renderParams, error) {
 	q := r.URL.Query()
 	name := q.Get("dataset")
 	if name == "" {
@@ -318,12 +403,12 @@ func (s *Server) parse(r *http.Request) (*request, error) {
 			return nil, fmt.Errorf("degenerate bbox %q", v)
 		}
 	}
-	kdv, err := s.kdvFor(r.Context(), name, n, seed, kern, method, eps)
-	if err != nil {
-		return nil, err
-	}
-	return &request{
-		kdv:      kdv,
+	return &renderParams{
+		name:     name,
+		n:        n,
+		seed:     seed,
+		kern:     kern,
+		method:   method,
 		res:      res,
 		eps:      eps,
 		logScale: q.Get("log") != "0",
@@ -374,7 +459,17 @@ func cacheKey(name string, n int, seed int64, kern quad.Kernel, method quad.Meth
 }
 
 func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
-	req, err := s.parse(r)
+	p, err := s.parseParams(r)
+	if err != nil {
+		s.m.recordOutcome("render", "error")
+		parseError(w, r, err)
+		return
+	}
+	if s.cfg.Cluster != nil && p.method != quad.MethodZOrder {
+		s.renderViaCluster(w, r, p)
+		return
+	}
+	req, err := s.materialize(r.Context(), p)
 	if err != nil {
 		s.m.recordOutcome("render", "error")
 		parseError(w, r, err)
@@ -407,6 +502,55 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	}
 	s.m.recordOutcome("render", "error")
 	requestError(w, r, err)
+}
+
+// renderViaCluster fans the render out across the coordinator's workers by
+// data shard and serves the additively merged raster. Densities are
+// additive over the Z-order partition, so the merge carries the same ε
+// guarantee as a local render. When workers stay unreachable past budget
+// the merge of the live shards is served flagged X-KDV-Complete: false with
+// X-KDV-Shards: k/n — the distributed analogue of the deadline-degraded
+// partial raster.
+func (s *Server) renderViaCluster(w http.ResponseWriter, r *http.Request, p *renderParams) {
+	cres, err := s.cfg.Cluster.RenderEps(r.Context(), cluster.RenderRequest{
+		Dataset: p.name,
+		N:       p.n,
+		Seed:    p.seed,
+		Kernel:  p.kern,
+		Method:  p.method,
+		Eps:     p.eps,
+		Res:     p.res,
+		Window:  p.window,
+	})
+	if err != nil {
+		s.m.recordOutcome("render", "error")
+		if r.Context().Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			requestError(w, r, err)
+			return
+		}
+		// The cluster is the upstream here: its total failure is a gateway
+		// error, not a client error.
+		writeError(w, http.StatusBadGateway, "cluster render failed: %v", err)
+		return
+	}
+	outcome := "ok"
+	if !cres.Complete {
+		outcome = "degraded"
+		s.m.degraded.Inc()
+	}
+	s.m.recordOutcome("render", outcome)
+	s.m.recordRenderStats("render", cres.Stats)
+	setRenderStats(r, &cres.Stats)
+	setStatsHeaders(w, cres.Stats)
+	w.Header().Set("X-KDV-Complete", strconv.FormatBool(cres.Complete))
+	w.Header().Set("X-KDV-Shards", cres.ShardsHeader())
+	dm := &quad.DensityMap{
+		Res:       cres.Res,
+		Values:    cres.Values,
+		WindowMin: cres.WindowMin,
+		WindowMax: cres.WindowMax,
+	}
+	writeDensityPNG(w, r, dm, p.logScale)
 }
 
 // degraded runs the short progressive fallback render for a /render that

@@ -160,6 +160,9 @@ type config struct {
 	ballBounds bool
 	bwRule     BandwidthRule
 	tileSize   int
+	sharded    bool
+	shardIndex int
+	shardCount int
 }
 
 // WithKernel selects the kernel function (default Gaussian).
@@ -246,6 +249,7 @@ func WithPointWeights(ws []float64) Option {
 type KDV struct {
 	pts          geom.Points
 	weights      []float64 // per-point weights, nil = uniform
+	fullRect     geom.Rect // full-dataset bounds when sharded (WithShard)
 	tree         *kdtree.Tree
 	cfg          config
 	bw           stats.Bandwidth
@@ -351,7 +355,19 @@ func newKDV(pts geom.Points, opts []Option) (*KDV, error) {
 		bw.Weight = 1 / sum
 	}
 
-	kdv := &KDV{pts: pts, weights: weights, cfg: cfg, bw: bw}
+	// Shard restriction happens only after the bandwidth and weight
+	// normalization above were fixed from the full dataset, so per-shard
+	// densities sum exactly to the full-dataset density (see WithShard).
+	var fullRect geom.Rect
+	if cfg.sharded {
+		var err error
+		pts, weights, fullRect, err = applyShard(&cfg, pts, weights)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	kdv := &KDV{pts: pts, weights: weights, fullRect: fullRect, cfg: cfg, bw: bw}
 	switch cfg.method {
 	case MethodZOrder:
 		if weights != nil {

@@ -130,6 +130,18 @@ func (k *KDV) newGridIn(res Resolution, w Window) (*grid.Grid, error) {
 		return nil, fmt.Errorf("quad: rendering requires a 2-d dataset, got %d-d (use Estimate for general KDE)", k.pts.Dim)
 	}
 	if w.IsZero() {
+		if k.fullRect.Dim() == 2 {
+			// Sharded KDV (WithShard): the default window covers the FULL
+			// dataset's bounding box, not the shard's, so per-shard rasters
+			// align pixel for pixel and merge by addition.
+			r := k.fullRect.Clone()
+			for i := 0; i < 2; i++ {
+				m := (r.Max[i] - r.Min[i]) * k.cfg.seedWindow
+				r.Min[i] -= m
+				r.Max[i] += m
+			}
+			return grid.New(res.internal(), r)
+		}
 		return grid.ForDataset(res.internal(), k.pts, k.cfg.seedWindow)
 	}
 	if err := w.validate(); err != nil {

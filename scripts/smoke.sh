@@ -6,7 +6,9 @@
 # traceparent must surface its trace ID in the exported span log, and
 # /debug/workmap must serve a work-map PNG. Diagnostic artifacts (trace
 # JSON, work-map PNG) land in SMOKE_ARTIFACTS when set, so CI can upload
-# them.
+# them. A final pass boots a coordinator + two shard workers, kills one,
+# and asserts the render degrades to a 200 partial raster flagged
+# X-KDV-Complete: false / X-KDV-Shards: 1/2.
 set -eu
 
 ADDR="${SMOKE_ADDR:-127.0.0.1:18080}"
@@ -17,8 +19,12 @@ ART="${SMOKE_ARTIFACTS:-$(mktemp -d)}"
 mkdir -p "$ART"
 
 cleanup() {
-    [ -n "${SRV_PID:-}" ] && kill "$SRV_PID" 2>/dev/null || true
-    [ -n "${SRV_PID:-}" ] && wait "$SRV_PID" 2>/dev/null || true
+    for pid in "${SRV_PID:-}" "${W1_PID:-}" "${W2_PID:-}" "${CO_PID:-}"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
+    for pid in "${SRV_PID:-}" "${W1_PID:-}" "${W2_PID:-}" "${CO_PID:-}"; do
+        [ -n "$pid" ] && wait "$pid" 2>/dev/null || true
+    done
     rm -f "$BIN" "$LOG"
 }
 trap cleanup EXIT INT TERM
@@ -95,5 +101,55 @@ grep -q '"render.eps"' "$ART/render.trace.json" \
 [ -s "$ART/render.workmap.png" ] \
     || { echo "smoke: kdvrender work-map PNG missing"; exit 1; }
 echo "smoke: kdvrender artifacts written to $ART"
+
+# Scale-out scenario: a coordinator fanning /render out over two shard
+# workers must answer complete while both live, then degrade — 200 with a
+# partial raster and the degraded headers — when one worker is killed.
+W1="${SMOKE_W1_ADDR:-127.0.0.1:18091}"
+W2="${SMOKE_W2_ADDR:-127.0.0.1:18092}"
+CADDR="${SMOKE_COORD_ADDR:-127.0.0.1:18090}"
+CBASE="http://$CADDR"
+
+"$BIN" -worker -addr "$W1" >>"$LOG" 2>&1 &
+W1_PID=$!
+"$BIN" -worker -addr "$W2" >>"$LOG" 2>&1 &
+W2_PID=$!
+"$BIN" -addr "$CADDR" -workers "$W1,$W2" -n 3000 >>"$LOG" 2>&1 &
+CO_PID=$!
+
+for host in "$W1" "$W2" "$CADDR"; do
+    up=""
+    for _ in $(seq 1 120); do
+        code="$(curl -s -o /dev/null -w '%{http_code}' "http://$host/healthz" || true)"
+        if [ "$code" = 200 ]; then up=1; break; fi
+        sleep 0.5
+    done
+    [ -n "$up" ] || { echo "smoke: $host never answered /healthz"; cat "$LOG"; exit 1; }
+done
+echo "smoke: coordinator and both workers up"
+
+HDRS="$(curl -sf -D - -o /dev/null "$CBASE/render?dataset=crime&res=32x24&eps=0.05" | tr -d '\r')"
+echo "$HDRS" | grep -qi '^X-KDV-Complete: true' \
+    || { echo "smoke: 2-worker render not complete"; echo "$HDRS"; cat "$LOG"; exit 1; }
+echo "$HDRS" | grep -qi '^X-KDV-Shards: 2/2' \
+    || { echo "smoke: 2-worker render shards != 2/2"; echo "$HDRS"; exit 1; }
+echo "smoke: sharded render complete across 2 workers"
+
+# Kill worker 2 (shard 1's primary) and wait for its port to die: the next
+# render must degrade to the live shard instead of failing.
+kill "$W2_PID" 2>/dev/null || true
+wait "$W2_PID" 2>/dev/null || true
+W2_PID=""
+
+DEG_HDRS="$(curl -sf -D - -o "$ART/partial.png" "$CBASE/render?dataset=crime&res=32x24&eps=0.05" | tr -d '\r')" \
+    || { echo "smoke: degraded render did not answer 200"; cat "$LOG"; exit 1; }
+echo "$DEG_HDRS" | grep -qi '^X-KDV-Complete: false' \
+    || { echo "smoke: degraded render not flagged incomplete"; echo "$DEG_HDRS"; exit 1; }
+echo "$DEG_HDRS" | grep -qi '^X-KDV-Shards: 1/2' \
+    || { echo "smoke: degraded render shards != 1/2"; echo "$DEG_HDRS"; exit 1; }
+part_sig="$(head -c 4 "$ART/partial.png" | od -An -tx1 | tr -d ' \n')"
+[ "$part_sig" = "89504e47" ] \
+    || { echo "smoke: degraded render is not a PNG"; exit 1; }
+echo "smoke: killed worker degraded to a 1/2-shard partial raster"
 
 echo "smoke: PASS"

@@ -1,0 +1,230 @@
+package quad
+
+import (
+	"math"
+	"testing"
+
+	"github.com/quadkdv/quad/internal/dataset"
+	"github.com/quadkdv/quad/internal/geom"
+)
+
+func shardTestPoints(t *testing.T, n int) geom.Points {
+	t.Helper()
+	pts, err := dataset.Generate("crime", n, 7)
+	if err != nil {
+		t.Fatalf("dataset: %v", err)
+	}
+	return dataset.First2D(pts)
+}
+
+func TestShardRangeCoversAll(t *testing.T) {
+	for _, tc := range []struct{ n, count int }{
+		{10, 1}, {10, 2}, {10, 3}, {10, 10}, {1001, 4}, {7, 7},
+	} {
+		prev := 0
+		total := 0
+		for i := 0; i < tc.count; i++ {
+			lo, hi := shardRange(tc.n, i, tc.count)
+			if lo != prev {
+				t.Fatalf("n=%d count=%d shard %d: lo=%d, want %d (gap/overlap)", tc.n, tc.count, i, lo, prev)
+			}
+			if hi <= lo {
+				t.Fatalf("n=%d count=%d shard %d: empty range [%d,%d)", tc.n, tc.count, i, lo, hi)
+			}
+			prev = hi
+			total += hi - lo
+		}
+		if total != tc.n {
+			t.Fatalf("n=%d count=%d: ranges cover %d points", tc.n, tc.count, total)
+		}
+	}
+}
+
+func TestShardValidation(t *testing.T) {
+	pts := shardTestPoints(t, 50)
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"negative index", []Option{WithShard(-1, 2)}},
+		{"index past count", []Option{WithShard(2, 2)}},
+		{"zero count", []Option{WithShard(0, 0)}},
+		{"more shards than points", []Option{WithShard(0, 51)}},
+		{"zorder method", []Option{WithShard(0, 2), WithMethod(MethodZOrder)}},
+	} {
+		if _, err := New(pts.Coords, 2, tc.opts...); err == nil {
+			t.Errorf("%s: expected construction error", tc.name)
+		}
+	}
+}
+
+func TestShardPartitionIsExact(t *testing.T) {
+	pts := shardTestPoints(t, 403)
+	full, err := New(pts.Coords, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, count := range []int{2, 3, 5} {
+		total := 0
+		for i := 0; i < count; i++ {
+			sh, err := New(pts.Coords, 2, WithShard(i, count))
+			if err != nil {
+				t.Fatalf("shard %d/%d: %v", i, count, err)
+			}
+			total += sh.Len()
+			if g, w := sh.Gamma(), sh.Weight(); g != full.Gamma() || w != full.Weight() {
+				t.Fatalf("shard %d/%d bandwidth (%g,%g) != full (%g,%g)", i, count, g, w, full.Gamma(), full.Weight())
+			}
+			if idx, c := sh.Shard(); idx != i || c != count {
+				t.Fatalf("Shard() = (%d,%d), want (%d,%d)", idx, c, i, count)
+			}
+		}
+		if total != pts.Len() {
+			t.Fatalf("%d shards cover %d of %d points", count, total, pts.Len())
+		}
+	}
+}
+
+// TestShardMergeMatchesFullDensity is the additivity contract behind the
+// cluster fan-out: per-shard exact densities must sum to the full-dataset
+// density, and per-shard εKDV rasters (each within ε of its shard's density)
+// must merge to within ε of the full density.
+func TestShardMergeMatchesFullDensity(t *testing.T) {
+	pts := shardTestPoints(t, 600)
+	res := Resolution{W: 32, H: 24}
+	const eps = 0.05
+
+	full, err := New(pts.Coords, 2, WithMethod(MethodExact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := full.RenderEps(res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, count := range []int{2, 4} {
+		// Exact shard renders: the merge must match the full exact render to
+		// accumulation-rounding precision.
+		merged := make([]float64, res.W*res.H)
+		for i := 0; i < count; i++ {
+			sh, err := New(pts.Coords, 2, WithShard(i, count), WithMethod(MethodExact))
+			if err != nil {
+				t.Fatal(err)
+			}
+			dm, err := sh.RenderEps(res, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dm.WindowMin != exact.WindowMin || dm.WindowMax != exact.WindowMax {
+				t.Fatalf("shard %d/%d window %v..%v != full %v..%v",
+					i, count, dm.WindowMin, dm.WindowMax, exact.WindowMin, exact.WindowMax)
+			}
+			for p, v := range dm.Values {
+				merged[p] += v
+			}
+		}
+		for p := range merged {
+			diff := math.Abs(merged[p] - exact.Values[p])
+			if diff > 1e-9*math.Max(merged[p], exact.Values[p]) {
+				t.Fatalf("count=%d pixel %d: merged %.17g vs full %.17g", count, p, merged[p], exact.Values[p])
+			}
+		}
+
+		// εKDV shard renders under QUAD bounds: merge must honor ε globally.
+		approx := make([]float64, res.W*res.H)
+		for i := 0; i < count; i++ {
+			sh, err := New(pts.Coords, 2, WithShard(i, count))
+			if err != nil {
+				t.Fatal(err)
+			}
+			dm, err := sh.RenderEps(res, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for p, v := range dm.Values {
+				approx[p] += v
+			}
+		}
+		var maxV float64
+		for _, v := range exact.Values {
+			maxV = math.Max(maxV, v)
+		}
+		for p := range approx {
+			if diff := math.Abs(approx[p] - exact.Values[p]); diff > eps*exact.Values[p]+1e-12*maxV {
+				t.Fatalf("count=%d pixel %d: merged εKDV %.17g vs exact %.17g exceeds ε=%g",
+					count, p, approx[p], exact.Values[p], eps)
+			}
+		}
+	}
+}
+
+// TestShardRenderDeterministic pins the property the cluster's bit-identical
+// partial merges rely on: the same shard built twice renders byte-identical
+// rasters.
+func TestShardRenderDeterministic(t *testing.T) {
+	pts := shardTestPoints(t, 500)
+	res := Resolution{W: 24, H: 16}
+	for i := 0; i < 2; i++ {
+		a, err := New(pts.Coords, 2, WithShard(i, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := New(pts.Coords, 2, WithShard(i, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		da, err := a.RenderEps(res, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := b.RenderEps(res, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := range da.Values {
+			if math.Float64bits(da.Values[p]) != math.Float64bits(db.Values[p]) {
+				t.Fatalf("shard %d: repeat render diverges at pixel %d", i, p)
+			}
+		}
+	}
+}
+
+// TestShardWeightedMerge checks that per-point weights ride along the shard
+// permutation: weighted shard densities must sum to the weighted full
+// density.
+func TestShardWeightedMerge(t *testing.T) {
+	pts := shardTestPoints(t, 300)
+	ws := make([]float64, pts.Len())
+	for i := range ws {
+		ws[i] = 1 + float64(i%5)
+	}
+	res := Resolution{W: 16, H: 12}
+	full, err := New(pts.Coords, 2, WithMethod(MethodExact), WithPointWeights(ws))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := full.RenderEps(res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := make([]float64, res.W*res.H)
+	for i := 0; i < 3; i++ {
+		sh, err := New(pts.Coords, 2, WithShard(i, 3), WithMethod(MethodExact), WithPointWeights(ws))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dm, err := sh.RenderEps(res, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p, v := range dm.Values {
+			merged[p] += v
+		}
+	}
+	for p := range merged {
+		if diff := math.Abs(merged[p] - exact.Values[p]); diff > 1e-9*math.Max(merged[p], exact.Values[p]) {
+			t.Fatalf("pixel %d: weighted merge %.17g vs full %.17g", p, merged[p], exact.Values[p])
+		}
+	}
+}
