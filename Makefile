@@ -39,24 +39,29 @@ fuzz:
 	$(GO) test ./internal/dataset -run='^$$' -fuzz='^FuzzReadCSV$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/geom -run='^$$' -fuzz='^FuzzRectDistBounds$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/geom -run='^$$' -fuzz='^FuzzRectRectDistBounds$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/kernel -run='^$$' -fuzz='^FuzzExpFastLanes$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/kdtree -run='^$$' -fuzz='^FuzzBuildInvariants$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/kdtree -run='^$$' -fuzz='^FuzzFlatTreeInvariants$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/bounds -run='^$$' -fuzz='^FuzzEvaluatorBounds$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/bounds -run='^$$' -fuzz='^FuzzRectBounds$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/trace -run='^$$' -fuzz='^FuzzParseTraceparent$$' -fuzztime=$(FUZZTIME)
 
-# bench regenerates BENCH_PR5.json: the tile-shared traversal's speedup and
-# node-evaluation reduction over the per-pixel baseline (εKDV + τKDV,
-# crime analogue at 30k points, 256² and 512²), plus the telemetry- and
-# tracing-overhead deltas against the uninstrumented paths.
+# bench regenerates BENCH_PR8.json: the flat-SoA-engine render benchmark
+# (same configuration as the PR5 baseline — εKDV + τKDV, crime analogue at
+# 30k points, 256² and 512², tile-shared vs per-pixel), plus the telemetry-
+# and tracing-overhead deltas against the uninstrumented paths.
 bench:
-	$(GO) run ./cmd/kdvbench -json BENCH_PR5.json -jsonn 30000
+	$(GO) run ./cmd/kdvbench -json BENCH_PR8.json -jsonn 30000
 
 # bench-compare is the regression gate: diff the newest checked-in baseline
 # against its predecessor. Deterministic work counters (nodes/pixel) get a
 # 5% budget, wall-clock cells 25%, instrumentation overheads 2% absolute;
-# exits non-zero on any regression.
+# exits non-zero on any regression. -minspeedup additionally requires the
+# flat engine's εKDV 512² tile render to beat the PR5 pointer-engine
+# baseline by ≥1.2× — the floor sits below the typically observed speedup
+# because wall-clock on the bench hosts is ±15% noisy (DESIGN §12).
 bench-compare:
-	$(GO) run ./cmd/kdvbench -compare BENCH_PR4.json BENCH_PR5.json
+	$(GO) run ./cmd/kdvbench -compare BENCH_PR5.json -minspeedup 1.2 BENCH_PR8.json
 
 # chaos runs the cluster fault-injection suite under the race detector:
 # seeded fault transport + fake clock drive breaker trips/recovery, hedges

@@ -20,6 +20,14 @@ const (
 	overheadBudgetPct         = 2.0
 )
 
+// speedupGateCell is the cell -minspeedup reads: the εKDV tile-shared
+// render at the largest benchmarked resolution — the headline
+// configuration the flat-engine work targets. The gate is the inverse of
+// the regression checks: instead of bounding how much slower the new
+// report may be, it requires old/new elapsed_ms to clear a floor, so an
+// improvement that a PR claims (and documents) stays machine-checked.
+var speedupGateCell = cellKey{Variant: "eps", Res: "512x512", Mode: "tile"}
+
 // cellKey identifies a measured configuration across two reports.
 type cellKey struct {
 	Variant, Res, Mode string
@@ -41,9 +49,11 @@ func loadReport(path string) (*jsonReport, error) {
 }
 
 // compareReports diffs two -json reports cell by cell and checks the new
-// report's overhead numbers against their absolute budgets. It prints a
-// verdict line per check to out and returns the number of regressions.
-func compareReports(out io.Writer, oldRep, newRep *jsonReport) int {
+// report's overhead numbers against their absolute budgets. A positive
+// minSpeedup additionally requires the new report to beat the old one by
+// that factor on speedupGateCell. It prints a verdict line per check to
+// out and returns the number of regressions.
+func compareReports(out io.Writer, oldRep, newRep *jsonReport, minSpeedup float64) int {
 	index := func(rep *jsonReport) map[cellKey]jsonCell {
 		m := make(map[cellKey]jsonCell, len(rep.Cells))
 		for _, c := range rep.Cells {
@@ -118,6 +128,28 @@ func compareReports(out io.Writer, oldRep, newRep *jsonReport) int {
 		}
 	}
 
+	if minSpeedup > 0 {
+		oc, okOld := oldCells[speedupGateCell]
+		nc, okNew := newCells[speedupGateCell]
+		switch {
+		case !okOld || !okNew:
+			fail("speedup gate: cell %s missing (in old report: %v, in new: %v)",
+				speedupGateCell, okOld, okNew)
+		case oc.ElapsedMS <= 0 || nc.ElapsedMS <= 0:
+			fail("speedup gate: cell %s has non-positive elapsed_ms (%.3g → %.3g)",
+				speedupGateCell, oc.ElapsedMS, nc.ElapsedMS)
+		default:
+			speedup := oc.ElapsedMS / nc.ElapsedMS
+			if speedup < minSpeedup {
+				fail("speedup gate %-15s %10.1fms → %-10.1fms %.2fx, below the %.2fx floor",
+					speedupGateCell, oc.ElapsedMS, nc.ElapsedMS, speedup, minSpeedup)
+			} else {
+				fmt.Fprintf(out, "ok   speedup gate %-15s %10.1fms → %-10.1fms %.2fx (floor %.2fx)\n",
+					speedupGateCell, oc.ElapsedMS, nc.ElapsedMS, speedup, minSpeedup)
+			}
+		}
+	}
+
 	if o := newRep.TelemetryOverhead; o != nil {
 		if o.DeltaPct > overheadBudgetPct {
 			fail("telemetry overhead %+.2f%% exceeds the %.0f%% budget", o.DeltaPct, overheadBudgetPct)
@@ -137,7 +169,7 @@ func compareReports(out io.Writer, oldRep, newRep *jsonReport) int {
 
 // runCompare is the bench-regression gate: kdvbench -compare old.json
 // new.json. Exit status 1 means at least one regression.
-func runCompare(oldPath, newPath string) error {
+func runCompare(oldPath, newPath string, minSpeedup float64) error {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
 		return err
@@ -146,7 +178,7 @@ func runCompare(oldPath, newPath string) error {
 	if err != nil {
 		return err
 	}
-	if n := compareReports(os.Stdout, oldRep, newRep); n > 0 {
+	if n := compareReports(os.Stdout, oldRep, newRep, minSpeedup); n > 0 {
 		return fmt.Errorf("%d regression(s) against %s", n, oldPath)
 	}
 	fmt.Printf("no regressions against %s\n", oldPath)

@@ -25,7 +25,7 @@ func TestCompareAcceptsEquivalentRun(t *testing.T) {
 	newRep.Cells[0].NsPerPixel *= 1.20    // inside the 25% timing tolerance
 	newRep.Cells[0].NodesPerPixel *= 1.04 // inside the 5% work tolerance
 	var out strings.Builder
-	if n := compareReports(&out, oldRep, newRep); n != 0 {
+	if n := compareReports(&out, oldRep, newRep, 0); n != 0 {
 		t.Fatalf("equivalent run flagged %d regression(s):\n%s", n, out.String())
 	}
 }
@@ -51,7 +51,7 @@ func TestComparePlantedRegressions(t *testing.T) {
 			newRep := baselineReport()
 			tc.plant(newRep)
 			var out strings.Builder
-			n := compareReports(&out, baselineReport(), newRep)
+			n := compareReports(&out, baselineReport(), newRep, 0)
 			if n == 0 {
 				t.Fatalf("planted %s regression not caught:\n%s", tc.name, out.String())
 			}
@@ -78,10 +78,51 @@ func TestCompareEndToEnd(t *testing.T) {
 	newRep := baselineReport()
 	newRep.Cells[2].NodesPerPixel *= 2 // planted regression
 	newPath := writeReport("new.json", newRep)
-	if err := runCompare(oldPath, oldPath); err != nil {
+	if err := runCompare(oldPath, oldPath, 0); err != nil {
 		t.Fatalf("self-compare: %v", err)
 	}
-	if err := runCompare(oldPath, newPath); err == nil {
+	if err := runCompare(oldPath, newPath, 0); err == nil {
 		t.Fatal("planted regression: runCompare returned nil")
+	}
+}
+
+// gateReport is a baseline that includes the eps/512x512/tile cell the
+// -minspeedup gate reads, with elapsed set by the caller.
+func gateReport(elapsedMS float64) *jsonReport {
+	rep := baselineReport()
+	rep.Cells = append(rep.Cells, jsonCell{
+		Variant: "eps", Res: "512x512", Mode: "tile",
+		ElapsedMS: elapsedMS, NsPerPixel: elapsedMS * 1e6 / (512 * 512), NodesPerPixel: 50,
+	})
+	return rep
+}
+
+// TestCompareSpeedupGate covers the -minspeedup assertion: a cleared
+// floor passes, a missed floor fails, a missing gate cell fails (the
+// claim cannot be checked), and minSpeedup=0 leaves the gate off.
+func TestCompareSpeedupGate(t *testing.T) {
+	cases := []struct {
+		name       string
+		oldMS      float64
+		newRep     *jsonReport
+		minSpeedup float64
+		wantFail   bool
+	}{
+		{"floor cleared", 3300, gateReport(2700), 1.2, false},
+		{"floor missed", 3300, gateReport(3000), 1.2, true},
+		{"gate cell missing", 3300, baselineReport(), 1.2, true},
+		{"gate disabled", 3300, gateReport(3300), 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out strings.Builder
+			n := compareReports(&out, gateReport(tc.oldMS), tc.newRep, tc.minSpeedup)
+			if got := n > 0; got != tc.wantFail {
+				t.Fatalf("regressions = %d, want failure %v:\n%s", n, tc.wantFail, out.String())
+			}
+			if tc.wantFail && !strings.Contains(out.String(), "speedup gate") {
+				t.Fatalf("verdicts missing the speedup-gate line:\n%s", out.String())
+			}
+		})
 	}
 }

@@ -103,31 +103,47 @@ func measureTracingOverhead(k *quad.KDV, res quad.Resolution, eps float64, round
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
 	o := &tracingOverhead{Res: res.String(), Rounds: rounds}
 	plain := context.Background()
+	sides := []func() error{
+		func() error {
+			start := time.Now()
+			dm, _, err := k.RenderEpsStats(res, eps)
+			if err != nil {
+				return err
+			}
+			dm.Release()
+			o.StatsMS = best(o.StatsMS, ms(time.Since(start)))
+			return nil
+		},
+		func() error {
+			start := time.Now()
+			dm, _, err := k.RenderEpsStatsInCtx(plain, res, eps, quad.Window{})
+			if err != nil {
+				return err
+			}
+			dm.Release()
+			o.OffMS = best(o.OffMS, ms(time.Since(start)))
+			return nil
+		},
+		func() error {
+			traced := trace.NewContext(context.Background(), trace.New())
+			start := time.Now()
+			dm, _, err := k.RenderEpsStatsInCtx(traced, res, eps, quad.Window{})
+			if err != nil {
+				return err
+			}
+			dm.Release()
+			o.TracedMS = best(o.TracedMS, ms(time.Since(start)))
+			return nil
+		},
+	}
+	// Rotate which side goes first each round — see measureTelemetryOverhead
+	// for why a fixed order biases the deltas under sustained load.
 	for i := 0; i < rounds; i++ {
-		start := time.Now()
-		dm, _, err := k.RenderEpsStats(res, eps)
-		if err != nil {
-			return nil, err
+		for j := range sides {
+			if err := sides[(i+j)%len(sides)](); err != nil {
+				return nil, err
+			}
 		}
-		dm.Release()
-		o.StatsMS = best(o.StatsMS, ms(time.Since(start)))
-
-		start = time.Now()
-		dm, _, err = k.RenderEpsStatsInCtx(plain, res, eps, quad.Window{})
-		if err != nil {
-			return nil, err
-		}
-		dm.Release()
-		o.OffMS = best(o.OffMS, ms(time.Since(start)))
-
-		traced := trace.NewContext(context.Background(), trace.New())
-		start = time.Now()
-		dm, _, err = k.RenderEpsStatsInCtx(traced, res, eps, quad.Window{})
-		if err != nil {
-			return nil, err
-		}
-		dm.Release()
-		o.TracedMS = best(o.TracedMS, ms(time.Since(start)))
 	}
 	o.OffDeltaPct = (o.OffMS - o.StatsMS) / o.StatsMS * 100
 	o.TracedDeltaPct = (o.TracedMS - o.StatsMS) / o.StatsMS * 100
@@ -144,22 +160,41 @@ func measureTelemetryOverhead(k *quad.KDV, res quad.Resolution, eps float64, rou
 		return cur
 	}
 	o := &telemetryOverhead{Res: res.String(), Rounds: rounds}
-	for i := 0; i < rounds; i++ {
+	runNoStats := func() error {
 		start := time.Now()
 		dm, err := k.RenderEps(res, eps)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dm.Release()
 		o.NoStatsMS = best(o.NoStatsMS, float64(time.Since(start).Microseconds())/1e3)
-
-		start = time.Now()
-		dm, _, err = k.RenderEpsStats(res, eps)
+		return nil
+	}
+	runStats := func() error {
+		start := time.Now()
+		dm, _, err := k.RenderEpsStats(res, eps)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dm.Release()
 		o.StatsMS = best(o.StatsMS, float64(time.Since(start).Microseconds())/1e3)
+		return nil
+	}
+	// Alternate which side runs first each round: sustained load ramps the
+	// CPU's thermal/frequency state within a round, so a fixed order would
+	// systematically favor whichever side runs on the cooler core — an
+	// apparent overhead of several percent with no code difference at all.
+	for i := 0; i < rounds; i++ {
+		first, second := runNoStats, runStats
+		if i%2 == 1 {
+			first, second = runStats, runNoStats
+		}
+		if err := first(); err != nil {
+			return nil, err
+		}
+		if err := second(); err != nil {
+			return nil, err
+		}
 	}
 	o.DeltaPct = (o.StatsMS - o.NoStatsMS) / o.NoStatsMS * 100
 	return o, nil
@@ -218,24 +253,35 @@ func runJSONBench(path string, seed int64, n int) error {
 				name string
 				k    *quad.KDV
 			}{{"tile", tiled}, {"perpixel", perPixel}} {
+				// Best-of-rounds wall clock, like the overhead measurements:
+				// a single render's timing wobbles ±15% with the machine's
+				// load and frequency state, and the -minspeedup gate reads
+				// these cells. The traversal counters are deterministic for a
+				// fixed seed, so any round's stats are THE stats.
+				const cellRounds = 3
 				var st quad.RenderStats
-				start := time.Now()
-				if variant == "eps" {
-					dm, s, err := mode.k.RenderEpsStats(res, eps)
-					if err != nil {
-						return err
+				var elapsed time.Duration
+				for r := 0; r < cellRounds; r++ {
+					start := time.Now()
+					if variant == "eps" {
+						dm, s, err := mode.k.RenderEpsStats(res, eps)
+						if err != nil {
+							return err
+						}
+						dm.Release()
+						st = s
+					} else {
+						hm, s, err := mode.k.RenderTauStats(res, tau)
+						if err != nil {
+							return err
+						}
+						hm.Release()
+						st = s
 					}
-					dm.Release()
-					st = s
-				} else {
-					hm, s, err := mode.k.RenderTauStats(res, tau)
-					if err != nil {
-						return err
+					if d := time.Since(start); r == 0 || d < elapsed {
+						elapsed = d
 					}
-					hm.Release()
-					st = s
 				}
-				elapsed := time.Since(start)
 				px := res.W * res.H
 				cells[i] = jsonCell{
 					Variant:        variant,
@@ -263,17 +309,18 @@ func runJSONBench(path string, seed int64, n int) error {
 			rep.Cells = append(rep.Cells, cells[:]...)
 		}
 	}
-	over, err := measureTelemetryOverhead(tiled, quad.Resolution{W: 512, H: 512}, eps, 3)
+	// 6 rounds for both overhead pairs: the sides differ only in stats
+	// aggregation outside the hot loop (the tracing sides run identical
+	// machine code outright), so the true deltas are ~0 and best-of needs
+	// enough samples for scheduler noise — observed at ±5% per round on
+	// the bench hosts — to wash out of a 2%-budget measurement.
+	over, err := measureTelemetryOverhead(tiled, quad.Resolution{W: 512, H: 512}, eps, 6)
 	if err != nil {
 		return err
 	}
 	rep.TelemetryOverhead = over
 	fmt.Printf("telemetry overhead @ %s: nostats %.1f ms, stats %.1f ms (%+.2f%%)\n",
 		over.Res, over.NoStatsMS, over.StatsMS, over.DeltaPct)
-	// More rounds than the telemetry pair: the stats and tracing-off sides
-	// run identical machine code (the stats entry point delegates to the
-	// context one), so the true delta is ~0 and best-of needs more samples
-	// for scheduler noise to wash out of a 2%-budget measurement.
 	tro, err := measureTracingOverhead(tiled, quad.Resolution{W: 512, H: 512}, eps, 6)
 	if err != nil {
 		return err

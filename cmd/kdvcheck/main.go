@@ -71,6 +71,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		SkipBounds:      *quick,
 		SkipMetamorphic: *quick,
 		SkipSharding:    *quick,
+		FlatQuick:       *quick,
 	}
 	var err error
 	if cfg.Res, err = parseRes(*res); err != nil {

@@ -349,34 +349,7 @@ func (e *Evaluator) AccumulateRectEnvelope(n *kdtree.Node, rect geom.Rect, cente
 	xmin := e.Kern.X(e.Gamma, mind2)
 	xmax := e.Kern.X(e.Gamma, maxd2)
 	s2lo, s2hi := n.RectSumDist2(rect)
-	up := kernel.ExpChordUpper(xmin, xmax)
-	// Tangent at the midpoint of the rect-range of the mean statistic: the
-	// tangent is a valid lower envelope anywhere, and the midpoint keeps it
-	// tight across the whole tile rather than at one extreme.
-	t := e.tangentPoint(e.Gamma*(s2lo+s2hi)/(2*n.SumW), xmin, xmax)
-	lo := kernel.ExpTangentLower(t)
-
-	// Re-center the node moments onto the tile's center T:
-	//   Σ w·(p−T)       = w·(C_n−T) + a_P
-	//   Σ w·‖p−T‖²      = b_P + 2·(C_n−T)·a_P + w·‖C_n−T‖²
-	var cc2, dotCS float64
-	for i := range center {
-		dc := n.Center[i] - center[i]
-		cc2 += dc * dc
-		dotCS += dc * n.SumP[i]
-	}
-	cPrime := n.SumNorm2 + 2*dotCS + n.SumW*cc2
-	gm := e.Gamma
-	w := e.Weight
-	for i := range center {
-		s := n.SumW*(n.Center[i]-center[i]) + n.SumP[i]
-		lbEnv.B[i] += w * lo.M * gm * (-2 * s)
-		ubEnv.B[i] += w * up.M * gm * (-2 * s)
-	}
-	lbEnv.A += w * lo.M * gm * n.SumW
-	lbEnv.C += w * (lo.M*gm*cPrime + lo.K*n.SumW)
-	ubEnv.A += w * up.M * gm * n.SumW
-	ubEnv.C += w * (up.M*gm*cPrime + up.K*n.SumW)
+	e.accumulateEnvelopeVals(n.SumW, n.SumNorm2, n.Center, n.SumP, s2lo, s2hi, xmin, xmax, center, lbEnv, ubEnv)
 	return true
 }
 
@@ -400,18 +373,7 @@ func (e *Evaluator) RectEnvelopeGap(n *kdtree.Node, rect geom.Rect) (float64, bo
 	xmin := e.Kern.X(e.Gamma, mind2)
 	xmax := e.Kern.X(e.Gamma, maxd2)
 	s2lo, s2hi := n.RectSumDist2(rect)
-	up := kernel.ExpChordUpper(xmin, xmax)
-	t := e.tangentPoint(e.Gamma*(s2lo+s2hi)/(2*n.SumW), xmin, xmax)
-	lo := kernel.ExpTangentLower(t)
-	dM, dK := up.M-lo.M, up.K-lo.K
-	g := dM*e.Gamma*s2lo + dK*n.SumW
-	if g2 := dM*e.Gamma*s2hi + dK*n.SumW; g2 > g {
-		g = g2
-	}
-	if g < 0 {
-		g = 0
-	}
-	return e.Weight * g, true
+	return e.envelopeGapVals(n.SumW, s2lo, s2hi, xmin, xmax), true
 }
 
 // rectLinearGaussian evaluates the KARL envelopes tile-uniformly. Every
@@ -424,34 +386,17 @@ func (e *Evaluator) RectEnvelopeGap(n *kdtree.Node, rect geom.Rect) (float64, bo
 // binds.
 func (e *Evaluator) rectLinearGaussian(n *kdtree.Node, rect geom.Rect, xmin, xmax float64) (lb, ub float64) {
 	s2lo, s2hi := n.RectSumDist2(rect)
-	sxLo, sxHi := e.Gamma*s2lo, e.Gamma*s2hi
-	up := kernel.ExpChordUpper(xmin, xmax)
-	ub = e.Weight * (math.Max(up.M*sxLo, up.M*sxHi) + up.K*n.SumW)
-	t := e.tangentPoint(sxHi/n.SumW, xmin, xmax)
-	lo := kernel.ExpTangentLower(t)
-	lb = e.Weight * (math.Min(lo.M*sxLo, lo.M*sxHi) + lo.K*n.SumW)
-	return lb, ub
+	return e.rectLinearGaussianVals(n.SumW, s2lo, s2hi, xmin, xmax)
 }
 
 // clamp floors lb at 0, caps ub at w·|P|·K(0), and repairs any floating-
 // point inversion (lb marginally above ub) by widening to the safe side.
 func (e *Evaluator) clamp(n *kdtree.Node, lb, ub float64) (float64, float64) {
-	cap := e.Weight * n.SumW * e.Kern.ProfileMax()
-	if lb < 0 {
-		lb = 0
-	}
-	if ub > cap {
-		ub = cap
-	}
-	if lb > ub {
-		lb = ub
-	}
-	return lb, ub
+	return e.clampVals(n.SumW, lb, ub)
 }
 
 func (e *Evaluator) minMax(n *kdtree.Node, xmin, xmax float64) (lb, ub float64) {
-	w := e.Weight * n.SumW
-	return w * e.Kern.Profile(xmax), w * e.Kern.Profile(xmin)
+	return e.minMaxVals(n.SumW, xmin, xmax)
 }
 
 // linearGaussian implements KARL's bounds for exp(−γ·dist²)
@@ -459,12 +404,7 @@ func (e *Evaluator) minMax(n *kdtree.Node, xmin, xmax float64) (lb, ub float64) 
 // envelope is w·(m·γ·Σdist² + k·|P|), and Σdist² is O(d) from node stats.
 func (e *Evaluator) linearGaussian(n *kdtree.Node, q []float64, xmin, xmax float64) (lb, ub float64) {
 	sumX := e.Gamma * n.SumDist2(q, e.scratch)
-	up := kernel.ExpChordUpper(xmin, xmax)
-	ub = e.Weight * (up.M*sumX + up.K*n.SumW)
-	t := e.tangentPoint(sumX/n.SumW, xmin, xmax) // Equation 3 by default
-	lo := kernel.ExpTangentLower(t)
-	lb = e.Weight * (lo.M*sumX + lo.K*n.SumW)
-	return lb, ub
+	return e.linearGaussianVals(n.SumW, sumX, xmin, xmax)
 }
 
 func (e *Evaluator) quadratic(n *kdtree.Node, q []float64, xmin, xmax float64) (lb, ub float64) {
@@ -493,12 +433,7 @@ func (e *Evaluator) quadGaussian(n *kdtree.Node, q []float64, xmin, xmax float64
 	s2, s4 := n.SumDist24(q, e.scratch)
 	sumX := e.Gamma * s2
 	sumX2 := e.Gamma * e.Gamma * s4
-	qu := kernel.ExpQuadUpper(xmin, xmax)
-	ub = e.Weight * (qu.A*sumX2 + qu.B*sumX + qu.C*n.SumW)
-	t := e.tangentPoint(sumX/n.SumW, xmin, xmax) // t* of Equation 3 by default
-	ql := kernel.ExpQuadLower(xmin, xmax, t)
-	lb = e.Weight * (ql.A*sumX2 + ql.B*sumX + ql.C*n.SumW)
-	return lb, ub
+	return e.quadGaussianVals(n.SumW, sumX, sumX2, xmin, xmax)
 }
 
 // quadTriangular implements paper Section 5.2 for max(1 − γ·dist, 0).
@@ -507,19 +442,7 @@ func (e *Evaluator) quadTriangular(n *kdtree.Node, q []float64, xmin, xmax float
 		return 0, 0
 	}
 	sumX2 := e.Gamma * e.Gamma * n.SumDist2(q, e.scratch)
-	if qu, ok := kernel.TriangularQuadUpper(xmin, xmax); ok {
-		ub = e.Weight * (qu.A*sumX2 + qu.C*n.SumW)
-	} else {
-		ub = e.Weight * n.SumW * e.Kern.Profile(xmin)
-	}
-	// The optimal shifted parabola (Theorem 2) is a valid lower bound for
-	// every x ≥ 0; it beats the min-max bound whenever all x_i ≤ 1
-	// (Lemma 6), and we keep the better of the two in general.
-	lb = kernel.TriangularQuadLowerValue(e.Weight, n.SumW, sumX2)
-	if mm := e.Weight * n.SumW * e.Kern.Profile(xmax); mm > lb {
-		lb = mm
-	}
-	return lb, ub
+	return e.quadTriangularVals(n.SumW, sumX2, xmin, xmax)
 }
 
 // quadCosine implements paper appendix 9.6.1–9.6.2 for cos(γ·dist) with
@@ -535,37 +458,14 @@ func (e *Evaluator) quadCosine(n *kdtree.Node, q []float64, xmin, xmax float64) 
 		return e.minMax(n, xmin, xmax)
 	}
 	sumX2 := e.Gamma * e.Gamma * n.SumDist2(q, e.scratch)
-	if qu, ok := kernel.CosineQuadUpper(xmin, xmax); ok {
-		ub = e.Weight * (qu.A*sumX2 + qu.C*n.SumW)
-	} else {
-		ub = e.Weight * n.SumW * e.Kern.Profile(xmin)
-	}
-	if ql, ok := kernel.CosineQuadLower(xmin, xmax); ok {
-		lb = e.Weight * (ql.A*sumX2 + ql.C*n.SumW)
-	} else {
-		lb = e.Weight * n.SumW * e.Kern.Profile(xmax)
-	}
-	return lb, ub
+	return e.quadCosineVals(n.SumW, sumX2, xmin, xmax)
 }
 
 // quadExponential implements paper appendix 9.6.3–9.6.4 for exp(−γ·dist).
 func (e *Evaluator) quadExponential(n *kdtree.Node, q []float64, xmin, xmax float64) (lb, ub float64) {
 	s2 := n.SumDist2(q, e.scratch)
 	sumX2 := e.Gamma * e.Gamma * s2
-	if qu, ok := kernel.ExpDistQuadUpper(xmin, xmax); ok {
-		ub = e.Weight * (qu.A*sumX2 + qu.C*n.SumW)
-	} else {
-		ub = e.Weight * n.SumW * e.Kern.Profile(xmin)
-	}
-	// t* = sqrt(γ²·Σdist²/|P|) (Equation 18), clamped into the interval so
-	// the tangent point stays within the node's reachable x range.
-	t := clampT(math.Sqrt(sumX2/n.SumW), xmin, xmax)
-	if ql, ok := kernel.ExpDistQuadLower(t); ok {
-		lb = e.Weight * (ql.A*sumX2 + ql.C*n.SumW)
-	} else {
-		lb = e.Weight * n.SumW * e.Kern.Profile(xmax)
-	}
-	return lb, ub
+	return e.quadExponentialVals(n.SumW, sumX2, xmin, xmax)
 }
 
 // quadEpanechnikov: the profile max(1−x², 0) coincides with the quadratic
@@ -577,16 +477,7 @@ func (e *Evaluator) quadEpanechnikov(n *kdtree.Node, q []float64, xmin, xmax flo
 		return 0, 0
 	}
 	sumX2 := e.Gamma * e.Gamma * n.SumDist2(q, e.scratch)
-	exactish := kernel.EpanechnikovQuadLowerValue(e.Weight, n.SumW, sumX2)
-	if xmax <= 1 {
-		return exactish, exactish
-	}
-	lb = exactish
-	if mm := e.Weight * n.SumW * e.Kern.Profile(xmax); mm > lb {
-		lb = mm
-	}
-	ub = e.Weight * n.SumW * e.Kern.Profile(xmin)
-	return lb, ub
+	return e.quadEpanechnikovVals(n.SumW, sumX2, xmin, xmax)
 }
 
 // quadQuartic: with y = x², the profile is (1−y)² on its support, a
@@ -601,12 +492,7 @@ func (e *Evaluator) quadQuartic(n *kdtree.Node, q []float64, xmin, xmax float64)
 	s2, s4 := n.SumDist24(q, e.scratch)
 	sumX2 := g2 * s2
 	sumX4 := g2 * g2 * s4
-	ub = kernel.QuarticQuadUpperValue(e.Weight, n.SumW, sumX2, sumX4)
-	if xmax <= 1 {
-		return ub, ub
-	}
-	lb = e.Weight * n.SumW * e.Kern.Profile(xmax)
-	return lb, ub
+	return e.quadQuarticVals(n.SumW, sumX2, sumX4, xmin, xmax)
 }
 
 // clampT restricts a tangent/interpolation parameter into [xmin, xmax].
@@ -628,6 +514,17 @@ func (e *Evaluator) ExactNode(t *kdtree.Tree, n *kdtree.Node, q []float64) float
 	d := pts.Dim
 	coords := pts.Coords
 	var sum float64
+	if e.Kern == kernel.Gaussian && d == 2 {
+		// Batched 2-D Gaussian fast path, shared with FlatExactNode so the
+		// pointer and flat engines scan leaves bit-identically.
+		row := coords[n.Start*2 : n.End*2]
+		if t.Weights == nil {
+			sum = gaussLeafSum2(row, q[0], q[1], e.Gamma)
+		} else {
+			sum = gaussLeafSumW2(row, t.Weights[n.Start:n.End], q[0], q[1], e.Gamma)
+		}
+		return e.Weight * sum
+	}
 	if t.Weights == nil {
 		for i := n.Start; i < n.End; i++ {
 			row := coords[i*d : i*d+d]

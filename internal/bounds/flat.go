@@ -1,0 +1,204 @@
+package bounds
+
+import (
+	"math"
+
+	"github.com/quadkdv/quad/internal/geom"
+	"github.com/quadkdv/quad/internal/kdtree/flat"
+	"github.com/quadkdv/quad/internal/kernel"
+)
+
+// This file is the flat-tree (SoA) front end of the evaluator: each method
+// mirrors its pointer-tree counterpart in bounds.go, fetching node statistics
+// from the flat arrays and feeding them to the shared scalar cores in
+// vals.go. The distance/moment computations delegate to the flat package,
+// whose methods replicate the pointer arithmetic operation for operation, so
+// both front ends produce bit-identical bounds for the same node.
+
+// FlatBounds is Bounds over a flat tree node.
+func (e *Evaluator) FlatBounds(t *flat.Tree, id int32, q []float64) (lb, ub float64) {
+	sumW := t.SumW[id]
+	if sumW == 0 {
+		// All-zero weights contribute nothing (and would otherwise produce
+		// 0/0 in the tangent-point formulas).
+		return 0, 0
+	}
+	mind2 := t.MinDist2(id, q)
+	maxd2 := t.MaxDist2(id, q)
+	if e.useBall {
+		dc := math.Sqrt(t.Dist2Center(id, q))
+		r := t.Radius[id]
+		if bmin := dc - r; bmin > 0 {
+			if b2 := bmin * bmin; b2 > mind2 {
+				mind2 = b2
+			}
+		}
+		bmax := dc + r
+		if b2 := bmax * bmax; b2 < maxd2 {
+			maxd2 = b2
+		}
+	}
+	xmin := e.Kern.X(e.Gamma, mind2)
+	xmax := e.Kern.X(e.Gamma, maxd2)
+
+	switch e.Method {
+	case MinMax:
+		lb, ub = e.minMaxVals(sumW, xmin, xmax)
+	case Linear:
+		sumX := e.Gamma * t.SumDist2(id, q, e.scratch)
+		lb, ub = e.linearGaussianVals(sumW, sumX, xmin, xmax)
+	case Quadratic:
+		lb, ub = e.flatQuadratic(t, id, q, xmin, xmax)
+	default:
+		panic("bounds: invalid method")
+	}
+	return e.clampVals(sumW, lb, ub)
+}
+
+func (e *Evaluator) flatQuadratic(t *flat.Tree, id int32, q []float64, xmin, xmax float64) (lb, ub float64) {
+	sumW := t.SumW[id]
+	switch e.Kern {
+	case kernel.Gaussian:
+		s2, s4 := t.SumDist24(id, q, e.scratch)
+		sumX := e.Gamma * s2
+		sumX2 := e.Gamma * e.Gamma * s4
+		return e.quadGaussianVals(sumW, sumX, sumX2, xmin, xmax)
+	case kernel.Triangular:
+		if xmin >= 1 {
+			return 0, 0
+		}
+		sumX2 := e.Gamma * e.Gamma * t.SumDist2(id, q, e.scratch)
+		return e.quadTriangularVals(sumW, sumX2, xmin, xmax)
+	case kernel.Cosine:
+		if xmin >= math.Pi/2 {
+			return 0, 0
+		}
+		if xmax > math.Pi/2 {
+			return e.minMaxVals(sumW, xmin, xmax)
+		}
+		sumX2 := e.Gamma * e.Gamma * t.SumDist2(id, q, e.scratch)
+		return e.quadCosineVals(sumW, sumX2, xmin, xmax)
+	case kernel.Exponential:
+		s2 := t.SumDist2(id, q, e.scratch)
+		sumX2 := e.Gamma * e.Gamma * s2
+		return e.quadExponentialVals(sumW, sumX2, xmin, xmax)
+	case kernel.Epanechnikov:
+		if xmin >= 1 {
+			return 0, 0
+		}
+		sumX2 := e.Gamma * e.Gamma * t.SumDist2(id, q, e.scratch)
+		return e.quadEpanechnikovVals(sumW, sumX2, xmin, xmax)
+	case kernel.Quartic:
+		if xmin >= 1 {
+			return 0, 0
+		}
+		g2 := e.Gamma * e.Gamma
+		s2, s4 := t.SumDist24(id, q, e.scratch)
+		sumX2 := g2 * s2
+		sumX4 := g2 * g2 * s4
+		return e.quadQuarticVals(sumW, sumX2, sumX4, xmin, xmax)
+	default: // Uniform: flat discontinuous profile, only min-max applies.
+		return e.minMaxVals(sumW, xmin, xmax)
+	}
+}
+
+// FlatRectBounds is RectBounds over a flat tree node.
+func (e *Evaluator) FlatRectBounds(t *flat.Tree, id int32, rect geom.Rect) (lb, ub float64) {
+	sumW := t.SumW[id]
+	if sumW == 0 {
+		return 0, 0
+	}
+	mind2, maxd2 := t.RectDist2(id, rect, e.useBall)
+	xmin := e.Kern.X(e.Gamma, mind2)
+	xmax := e.Kern.X(e.Gamma, maxd2)
+	lb, ub = e.minMaxVals(sumW, xmin, xmax)
+	if e.Method != MinMax && e.Kern.HasLinearBounds() {
+		s2lo, s2hi := t.RectSumDist2(id, rect)
+		llb, lub := e.rectLinearGaussianVals(sumW, s2lo, s2hi, xmin, xmax)
+		if llb > lb {
+			lb = llb
+		}
+		if lub < ub {
+			ub = lub
+		}
+	}
+	return e.clampVals(sumW, lb, ub)
+}
+
+// FlatAccumulateRectEnvelope is AccumulateRectEnvelope over a flat tree node.
+func (e *Evaluator) FlatAccumulateRectEnvelope(t *flat.Tree, id int32, rect geom.Rect, center []float64, lbEnv, ubEnv *TileEnvelope) bool {
+	if !e.SupportsEnvelope() {
+		return false
+	}
+	sumW := t.SumW[id]
+	if sumW == 0 {
+		return true
+	}
+	mind2, maxd2 := t.RectDist2(id, rect, e.useBall)
+	xmin := e.Kern.X(e.Gamma, mind2)
+	xmax := e.Kern.X(e.Gamma, maxd2)
+	s2lo, s2hi := t.RectSumDist2(id, rect)
+	d := t.Dim()
+	o := int(id) * d
+	e.accumulateEnvelopeVals(sumW, t.SumNorm2[id], t.Center[o:o+d:o+d], t.SumP[o:o+d:o+d],
+		s2lo, s2hi, xmin, xmax, center, lbEnv, ubEnv)
+	return true
+}
+
+// FlatRectEnvelopeGap is RectEnvelopeGap over a flat tree node.
+func (e *Evaluator) FlatRectEnvelopeGap(t *flat.Tree, id int32, rect geom.Rect) (float64, bool) {
+	if !e.SupportsEnvelope() {
+		return 0, false
+	}
+	sumW := t.SumW[id]
+	if sumW == 0 {
+		return 0, true
+	}
+	mind2, maxd2 := t.RectDist2(id, rect, e.useBall)
+	xmin := e.Kern.X(e.Gamma, mind2)
+	xmax := e.Kern.X(e.Gamma, maxd2)
+	s2lo, s2hi := t.RectSumDist2(id, rect)
+	return e.envelopeGapVals(sumW, s2lo, s2hi, xmin, xmax), true
+}
+
+// FlatExactNode is ExactNode over a flat tree node: the leaf point-scan,
+// with the batched 2-D Gaussian fast path of leafscan.go (shared with the
+// pointer engine's ExactNode, so the two stay bit-identical).
+func (e *Evaluator) FlatExactNode(t *flat.Tree, id int32, q []float64) float64 {
+	pts := t.Pts
+	d := pts.Dim
+	coords := pts.Coords
+	start, end := int(t.Start[id]), int(t.End[id])
+	var sum float64
+	if e.Kern == kernel.Gaussian && d == 2 {
+		row := coords[start*2 : end*2]
+		if t.Weights == nil {
+			sum = gaussLeafSum2(row, q[0], q[1], e.Gamma)
+		} else {
+			sum = gaussLeafSumW2(row, t.Weights[start:end], q[0], q[1], e.Gamma)
+		}
+		return e.Weight * sum
+	}
+	if t.Weights == nil {
+		for i := start; i < end; i++ {
+			row := coords[i*d : i*d+d]
+			var dist2 float64
+			for k, v := range q {
+				dd := v - row[k]
+				dist2 += dd * dd
+			}
+			sum += e.Kern.Eval(e.Gamma, dist2)
+		}
+	} else {
+		for i := start; i < end; i++ {
+			row := coords[i*d : i*d+d]
+			var dist2 float64
+			for k, v := range q {
+				dd := v - row[k]
+				dist2 += dd * dd
+			}
+			sum += t.Weights[i] * e.Kern.Eval(e.Gamma, dist2)
+		}
+	}
+	return e.Weight * sum
+}

@@ -1,0 +1,165 @@
+package conformance
+
+import (
+	"fmt"
+
+	quad "github.com/quadkdv/quad"
+	"github.com/quadkdv/quad/internal/kernel"
+)
+
+// The flat-vs-pointer differential pass: the flat SoA engine (the default
+// layout) must render bit-identically to the pointer-tree engine it
+// replaced, across every bound-based method × kernel × tile size — and under
+// sharding. The pointer engine is retained behind WithEngineLayout exactly
+// so it can serve as this oracle: both layouts feed the same scalar bound
+// cores and the same heap algorithms, so any divergence is a bug in the
+// flattening, not legitimate floating-point drift. The checks are therefore
+// exact (Float64bits), with no tolerance.
+
+// buildLayoutKDV is buildKDV pinned to an engine layout.
+func buildLayoutKDV(cfg *Config, k kernel.Kernel, m quad.Method, gamma, weight float64, ts int, l quad.EngineLayout) (*quad.KDV, error) {
+	kdv, err := quad.New(cfg.Pts.Coords, 2,
+		quad.WithKernel(qKernel(k)),
+		quad.WithMethod(m),
+		quad.WithBandwidth(gamma, weight),
+		quad.WithTileSize(ts),
+		quad.WithWorkers(cfg.Workers),
+		quad.WithEngineLayout(l),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("conformance: building %s/%s/ts=%d layout %d: %w", k, m, ts, l, err)
+	}
+	return kdv, nil
+}
+
+// runFlat renders every bound-based cell of the matrix through both engine
+// layouts and asserts bit-identity of εKDV rasters and τKDV masks. With
+// cfg.FlatQuick the matrix is cut to the first kernel × MethodQuadratic
+// (still across all tile sizes), the subset CI's quick gate runs.
+func runFlat(cfg *Config, rep *Report) error {
+	res := quad.Resolution{W: cfg.Res.W, H: cfg.Res.H}
+	kernels := cfg.Kernels
+	methods := cfg.Methods
+	if cfg.FlatQuick {
+		kernels = kernels[:1]
+		methods = []quad.Method{quad.MethodQuadratic}
+	}
+	for _, k := range kernels {
+		ref, err := quad.New(cfg.Pts.Coords, 2, quad.WithKernel(qKernel(k)))
+		if err != nil {
+			return fmt.Errorf("conformance: flat reference build (%s): %w", k, err)
+		}
+		gamma, weight := ref.Gamma(), ref.Weight()
+		tau := flatTau(ref, res, cfg)
+
+		for _, m := range methods {
+			if m == quad.MethodExact || m == quad.MethodZOrder {
+				continue // scan methods never touch the tree engines
+			}
+			if m == quad.MethodLinear && !k.HasLinearBounds() {
+				continue
+			}
+			for _, ts := range cfg.TileSizes {
+				tag := fmt.Sprintf("%s/%s/ts=%d", k, m, ts)
+				fl, err := buildLayoutKDV(cfg, k, m, gamma, weight, ts, quad.LayoutFlat)
+				if err != nil {
+					return err
+				}
+				pt, err := buildLayoutKDV(cfg, k, m, gamma, weight, ts, quad.LayoutPointer)
+				if err != nil {
+					return err
+				}
+
+				fdm, err := fl.RenderEps(res, cfg.Eps)
+				if err != nil {
+					return fmt.Errorf("conformance: flat RenderEps %s: %w", tag, err)
+				}
+				pdm, err := pt.RenderEps(res, cfg.Eps)
+				if err != nil {
+					return fmt.Errorf("conformance: pointer RenderEps %s: %w", tag, err)
+				}
+				rep.add(CheckRastersIdentical("flat-identity/eps/"+tag, fdm.Values, pdm.Values))
+
+				fhm, err := fl.RenderTau(res, tau)
+				if err != nil {
+					return fmt.Errorf("conformance: flat RenderTau %s: %w", tag, err)
+				}
+				phm, err := pt.RenderTau(res, tau)
+				if err != nil {
+					return fmt.Errorf("conformance: pointer RenderTau %s: %w", tag, err)
+				}
+				rep.add(CheckMasksIdentical("flat-identity/tau/"+tag, fhm.Hot, phm.Hot))
+			}
+		}
+	}
+
+	// Sharded views flatten a different point subset per shard; each must
+	// stay bit-identical to its pointer twin, or distributed merges would
+	// silently mix engine behaviors.
+	k := cfg.Kernels[0]
+	ref, err := quad.New(cfg.Pts.Coords, 2, quad.WithKernel(qKernel(k)))
+	if err != nil {
+		return fmt.Errorf("conformance: flat shard reference build: %w", err)
+	}
+	gamma, weight := ref.Gamma(), ref.Weight()
+	counts := shardCounts
+	if cfg.FlatQuick {
+		counts = counts[:1]
+	}
+	for _, count := range counts {
+		for i := 0; i < count; i++ {
+			tag := fmt.Sprintf("%s/quad/shard=%d-of-%d", k, i, count)
+			fl, err := buildLayoutShard(cfg, k, gamma, weight, i, count, quad.LayoutFlat)
+			if err != nil {
+				return err
+			}
+			pt, err := buildLayoutShard(cfg, k, gamma, weight, i, count, quad.LayoutPointer)
+			if err != nil {
+				return err
+			}
+			fdm, err := fl.RenderEps(res, cfg.Eps)
+			if err != nil {
+				return fmt.Errorf("conformance: flat shard RenderEps %s: %w", tag, err)
+			}
+			pdm, err := pt.RenderEps(res, cfg.Eps)
+			if err != nil {
+				return fmt.Errorf("conformance: pointer shard RenderEps %s: %w", tag, err)
+			}
+			rep.add(CheckRastersIdentical("flat-identity/eps/"+tag, fdm.Values, pdm.Values))
+		}
+	}
+	return nil
+}
+
+// flatTau derives the τ threshold for the flat pass from a quick εKDV render
+// of the reference build — the pass compares engines against each other, so
+// τ only needs to land inside the raster's dynamic range, not match the
+// oracle-derived ladder of the main differential pass.
+func flatTau(ref *quad.KDV, res quad.Resolution, cfg *Config) float64 {
+	dm, err := ref.RenderEps(res, cfg.Eps)
+	if err != nil || len(dm.Values) == 0 {
+		return 0
+	}
+	var mu float64
+	for _, v := range dm.Values {
+		mu += v
+	}
+	mu /= float64(len(dm.Values))
+	return mu * (1 + 0.1*cfg.TauSigma)
+}
+
+// buildLayoutShard is buildShardKDV pinned to an engine layout.
+func buildLayoutShard(cfg *Config, k kernel.Kernel, gamma, weight float64, i, count int, l quad.EngineLayout) (*quad.KDV, error) {
+	kdv, err := quad.New(cfg.Pts.Coords, 2,
+		quad.WithKernel(qKernel(k)),
+		quad.WithMethod(quad.MethodQuadratic),
+		quad.WithBandwidth(gamma, weight),
+		quad.WithWorkers(cfg.Workers),
+		quad.WithShard(i, count),
+		quad.WithEngineLayout(l),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("conformance: building %s shard %d/%d layout %d: %w", k, i, count, l, err)
+	}
+	return kdv, nil
+}

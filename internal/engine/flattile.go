@@ -1,0 +1,606 @@
+package engine
+
+import (
+	"sort"
+
+	"github.com/quadkdv/quad/internal/bounds"
+	"github.com/quadkdv/quad/internal/geom"
+	"github.com/quadkdv/quad/internal/kdtree/flat"
+)
+
+// Flat-tree tile-shared traversal: the SoA mirror of tile.go. Every constant
+// (settleFrac, tileEpsFrac, budgets, promotion thresholds), every loop, and
+// every settle/sort decision is shared with or copied verbatim from the
+// pointer implementation — the ONLY differences are fitem entries instead of
+// item and flat-array statistic fetches instead of pointer chases — so a
+// flat render is bit-identical to a pointer render of the same raster.
+
+// FlatFrontier is the reusable result of one shared tile refinement over a
+// flat tree (see Frontier).
+type FlatFrontier struct {
+	Tile                 geom.Rect
+	SettledLB, SettledUB float64
+	Decided              bool
+	Hot                  bool
+	SettledGap           float64
+
+	seeds          []fitem
+	seedLB, seedUB float64
+	hits           []int32
+
+	envOK      bool
+	envSettled bool
+	envLB      bounds.TileEnvelope
+	envUB      bounds.TileEnvelope
+	envCenter  []float64
+}
+
+// State reports the tile-wide τKDV classification (see Frontier.Decided).
+func (f *FlatFrontier) State() (decided, hot bool) { return f.Decided, f.Hot }
+
+// Size returns the residual frontier's node count.
+func (f *FlatFrontier) Size() int { return len(f.seeds) }
+
+// Settled returns the tile-wide settled contribution interval.
+func (f *FlatFrontier) Settled() (lb, ub float64) { return f.SettledLB, f.SettledUB }
+
+func (f *FlatFrontier) envBounds(q []float64) (lb, ub float64) {
+	lb = f.SettledLB + f.envLB.Eval(q, f.envCenter)
+	ub = f.SettledUB + f.envUB.Eval(q, f.envCenter)
+	if lb < 0 {
+		lb = 0
+	}
+	return lb, ub
+}
+
+func (f *FlatFrontier) initEnv() {
+	d := len(f.Tile.Min)
+	if cap(f.envCenter) < d {
+		f.envCenter = make([]float64, d)
+	}
+	f.envCenter = f.envCenter[:d]
+	for i := 0; i < d; i++ {
+		f.envCenter[i] = (f.Tile.Min[i] + f.Tile.Max[i]) / 2
+	}
+	f.envLB.Reset(d)
+	f.envUB.Reset(d)
+	f.envOK, f.envSettled = true, true
+}
+
+func (f *FlatFrontier) inheritEnv(parent *FlatFrontier) {
+	if !parent.envOK || !parent.envSettled {
+		return
+	}
+	f.envCenter = append(f.envCenter[:0], parent.envCenter...)
+	f.envLB.CopyFrom(&parent.envLB)
+	f.envUB.CopyFrom(&parent.envUB)
+	f.envOK, f.envSettled = true, true
+}
+
+func (f *FlatFrontier) reset(tile geom.Rect) {
+	f.Tile.Min = append(f.Tile.Min[:0], tile.Min...)
+	f.Tile.Max = append(f.Tile.Max[:0], tile.Max...)
+	f.SettledLB, f.SettledUB = 0, 0
+	f.SettledGap = 0
+	f.Decided, f.Hot = false, false
+	f.seeds = f.seeds[:0]
+	f.seedLB, f.seedUB = 0, 0
+	f.hits = f.hits[:0]
+	f.envOK, f.envSettled = false, false
+}
+
+func (f *FlatFrontier) setSeeds(items []fitem) {
+	f.seeds = append(f.seeds[:0], items...)
+	f.hits = f.hits[:0]
+	f.seedLB, f.seedUB = 0, 0
+	for i := range f.seeds {
+		f.seeds[i].seed = int32(i)
+		f.seedLB += f.seeds[i].lb
+		f.seedUB += f.seeds[i].ub
+		f.hits = append(f.hits, 0)
+	}
+}
+
+// FlatTileEngine runs the shared (per-tile) phase over a flat tree (see
+// TileEngine). It owns scratch state and must not be shared between
+// goroutines.
+type FlatTileEngine struct {
+	*FlatEngine
+	// MaxFrontier caps the residual frontier (0 means DefaultMaxFrontier).
+	MaxFrontier int
+
+	theap   []fitem
+	scratch []fitem
+	gapbuf  []float64
+}
+
+// NewFlatTileEngine wraps a flat engine for tile-shared rendering.
+func NewFlatTileEngine(e *FlatEngine) *FlatTileEngine { return &FlatTileEngine{FlatEngine: e} }
+
+func (te *FlatTileEngine) frontierCap() int {
+	if te.MaxFrontier > 0 {
+		return te.MaxFrontier
+	}
+	return DefaultMaxFrontier
+}
+
+// Saturated reports that the shared phase pinned the frontier cap without
+// settling the tile (see TileEngine.Saturated).
+func (te *FlatTileEngine) Saturated(f *FlatFrontier) bool {
+	return len(f.seeds) >= te.frontierCap()
+}
+
+// sharedExpand is TileEngine.sharedExpand over the flat arrays: identical
+// loop, budgets, and pending-sum discipline.
+func (te *FlatTileEngine) sharedExpand(tile geom.Rect, seeds []fitem, baseLB, baseUB float64, fcap, budget int, st *Stats, stop func(lb, ub float64) bool) (cands []fitem, sumLB, sumUB float64) {
+	te.theap = te.theap[:0]
+	t := te.Tree
+	var pendLB, pendUB float64
+	if seeds == nil {
+		rlb, rub := te.Ev.FlatRectBounds(t, 0, tile)
+		st.NodesEvaluated++
+		te.heapPushTile(fitem{id: 0, seed: -1, lb: rlb, ub: rub})
+		pendLB, pendUB = rlb, rub
+	} else {
+		for _, it := range seeds {
+			lb, ub := te.Ev.FlatRectBounds(t, it.id, tile)
+			st.NodesEvaluated++
+			te.heapPushTile(fitem{id: it.id, seed: -1, lb: lb, ub: ub})
+			pendLB += lb
+			pendUB += ub
+		}
+	}
+	// Popped leaves can't expand; they go straight to the candidate list.
+	te.scratch = te.scratch[:0]
+	leafLB, leafUB := baseLB, baseUB
+
+	for pops := 0; len(te.theap) > 0 && len(te.theap)+len(te.scratch) < fcap && pops < budget; pops++ {
+		if pendLB < 0 || pendUB < 0 || stop(leafLB+pendLB, leafUB+pendUB) {
+			pendLB, pendUB = te.tilePending()
+			if stop(leafLB+pendLB, leafUB+pendUB) {
+				break
+			}
+		}
+		it := te.heapPopTile()
+		id := it.id
+		left := t.Left[id]
+		if left == flat.NoChild {
+			te.scratch = append(te.scratch, it)
+			leafLB += it.lb
+			leafUB += it.ub
+			pendLB -= it.lb
+			pendUB -= it.ub
+			continue
+		}
+		right := t.Right[id]
+		llb, lub := te.Ev.FlatRectBounds(t, left, tile)
+		rlb, rub := te.Ev.FlatRectBounds(t, right, tile)
+		st.NodesEvaluated += 2
+		te.heapPushTile(fitem{id: left, seed: -1, lb: llb, ub: lub})
+		te.heapPushTile(fitem{id: right, seed: -1, lb: rlb, ub: rub})
+		pendLB += llb + rlb - it.lb
+		pendUB += lub + rub - it.ub
+	}
+	te.scratch = append(te.scratch, te.theap...)
+	pendLB, pendUB = te.tilePending()
+	sumLB, sumUB = leafLB+pendLB, leafUB+pendUB
+	// One final check so a decision reached exactly at the frontier cap
+	// (τKDV tiles in particular) is not lost.
+	stop(sumLB, sumUB)
+	return te.scratch, sumLB, sumUB
+}
+
+// BuildFrontierEps runs the shared phase for an εKDV tile (see
+// TileEngine.BuildFrontierEps).
+func (te *FlatTileEngine) BuildFrontierEps(tile geom.Rect, eps float64, f *FlatFrontier) Stats {
+	return te.buildEps(tile, nil, te.frontierCap(), eps, 1, f)
+}
+
+// BuildFrontierEpsCoarse is BuildFrontierEps for the OUTER level of a
+// two-level build (see TileEngine.BuildFrontierEpsCoarse).
+func (te *FlatTileEngine) BuildFrontierEpsCoarse(tile geom.Rect, eps float64, f *FlatFrontier) Stats {
+	return te.buildEps(tile, nil, te.frontierCap(), eps, coarseSettleFrac, f)
+}
+
+// BuildFrontierEpsFrom is BuildFrontierEps seeded from a coarser frontier
+// (see TileEngine.BuildFrontierEpsFrom).
+func (te *FlatTileEngine) BuildFrontierEpsFrom(parent *FlatFrontier, tile geom.Rect, eps float64, f *FlatFrontier) Stats {
+	if len(parent.seeds) == 0 {
+		// Fully settled parent: the sub-frontier is the same settled state
+		// (a nil seed slice must not fall back to root expansion — the
+		// settled mass would be counted twice).
+		f.reset(tile)
+		f.SettledLB, f.SettledUB = parent.SettledLB, parent.SettledUB
+		f.SettledGap = parent.SettledGap
+		f.inheritEnv(parent)
+		return Stats{}
+	}
+	return te.buildEps(tile, parent, subCap(len(parent.seeds)), eps, 1, f)
+}
+
+func (te *FlatTileEngine) buildEps(tile geom.Rect, parent *FlatFrontier, fcap int, eps, budgetFrac float64, f *FlatFrontier) Stats {
+	var st Stats
+	f.reset(tile)
+	var seeds []fitem
+	var parentGap float64
+	if parent != nil {
+		seeds = parent.seeds
+		f.SettledLB, f.SettledUB = parent.SettledLB, parent.SettledUB
+		parentGap = parent.SettledGap
+		f.inheritEnv(parent)
+	}
+	if !f.envOK && te.Ev.SupportsEnvelope() {
+		f.initEnv()
+	}
+	baseLB, baseUB := f.SettledLB, f.SettledUB
+	if f.envOK {
+		elo, _ := f.envLB.RangeRect(tile, f.envCenter)
+		_, uhi := f.envUB.RangeRect(tile, f.envCenter)
+		baseLB += elo
+		baseUB += uhi
+		if baseLB < 0 {
+			baseLB = 0
+		}
+	}
+	budgetPops := expandBudgetFactor * fcap
+	if parent != nil && budgetPops > subExpandBudget {
+		budgetPops = subExpandBudget
+	}
+	cands, sumLB, _ := te.sharedExpand(tile, seeds, baseLB, baseUB, fcap, budgetPops, &st, func(lb, ub float64) bool {
+		return ub <= (1+tileEpsFrac*eps)*lb
+	})
+	// Settle greedily by ascending gap within the budget (see
+	// TileEngine.buildEps for the εKDV-guarantee argument).
+	budget := budgetFrac * settleFrac * eps * sumLB
+	spent := parentGap
+	rest := cands[:0]
+	if f.envOK {
+		gaps := te.gapbuf[:0]
+		for i := range cands {
+			g, _ := te.Ev.FlatRectEnvelopeGap(te.Tree, cands[i].id, tile)
+			gaps = append(gaps, g)
+		}
+		te.gapbuf = gaps
+		st.NodesEvaluated += len(cands)
+		sortFlatCandidatesByGap(te.Tree, cands, gaps)
+		for i := range cands {
+			if spent+gaps[i] <= budget {
+				spent += gaps[i]
+				te.Ev.FlatAccumulateRectEnvelope(te.Tree, cands[i].id, tile, f.envCenter, &f.envLB, &f.envUB)
+				st.NodesEvaluated++
+				continue
+			}
+			rest = append(rest, cands[i])
+		}
+	} else {
+		sortFlatCandidates(te.Tree, cands)
+		for _, it := range cands {
+			if g := fgap(it); spent+g <= budget {
+				spent += g
+				f.SettledLB += it.lb
+				f.SettledUB += it.ub
+				continue
+			}
+			rest = append(rest, it)
+		}
+	}
+	f.SettledGap = spent
+	f.setSeeds(rest)
+	return st
+}
+
+// BuildFrontierTau runs the shared phase for a τKDV tile (see
+// TileEngine.BuildFrontierTau).
+func (te *FlatTileEngine) BuildFrontierTau(tile geom.Rect, tau float64, f *FlatFrontier) Stats {
+	return te.buildTau(tile, nil, 0, 0, te.frontierCap(), tau, f)
+}
+
+// BuildFrontierTauFrom is BuildFrontierTau seeded from a coarser frontier
+// (see TileEngine.BuildFrontierTauFrom).
+func (te *FlatTileEngine) BuildFrontierTauFrom(parent *FlatFrontier, tile geom.Rect, tau float64, f *FlatFrontier) Stats {
+	if len(parent.seeds) == 0 {
+		f.reset(tile)
+		f.SettledLB, f.SettledUB = parent.SettledLB, parent.SettledUB
+		f.Decided, f.Hot = parent.Decided, parent.Hot
+		return Stats{}
+	}
+	return te.buildTau(tile, parent.seeds, parent.SettledLB, parent.SettledUB, subCap(len(parent.seeds)), tau, f)
+}
+
+func (te *FlatTileEngine) buildTau(tile geom.Rect, seeds []fitem, baseLB, baseUB float64, fcap int, tau float64, f *FlatFrontier) Stats {
+	var st Stats
+	f.reset(tile)
+	f.SettledLB, f.SettledUB = baseLB, baseUB
+	budgetPops := expandBudgetFactor * fcap
+	if seeds != nil && budgetPops > subExpandBudget {
+		budgetPops = subExpandBudget
+	}
+	cands, _, _ := te.sharedExpand(tile, seeds, baseLB, baseUB, fcap, budgetPops, &st, func(lb, ub float64) bool {
+		if lb >= tau {
+			f.Decided, f.Hot = true, true
+			return true
+		}
+		if ub < tau {
+			f.Decided, f.Hot = true, false
+			return true
+		}
+		return false
+	})
+	if f.Decided {
+		return st
+	}
+	rest := cands[:0]
+	for _, it := range cands {
+		if fgap(it) == 0 {
+			f.SettledLB += it.lb
+			f.SettledUB += it.ub
+			continue
+		}
+		rest = append(rest, it)
+	}
+	f.setSeeds(rest)
+	te.buildEnvelope(f, &st)
+	return st
+}
+
+// Promote replaces over-expanded frontier nodes with their children (see
+// TileEngine.Promote).
+func (te *FlatTileEngine) Promote(f *FlatFrontier) Stats {
+	var st Stats
+	t := te.Tree
+	limit := promoteCapFactor * te.frontierCap()
+	if len(f.seeds) >= limit {
+		return st
+	}
+	promote := 0
+	for i, h := range f.hits {
+		if h >= promoteHits && !t.IsLeaf(f.seeds[i].id) {
+			promote++
+		}
+	}
+	if promote == 0 || len(f.seeds)+promote > limit {
+		return st
+	}
+	out := te.scratch[:0]
+	for i, it := range f.seeds {
+		if f.hits[i] >= promoteHits && !t.IsLeaf(it.id) {
+			left, right := t.Left[it.id], t.Right[it.id]
+			llb, lub := te.Ev.FlatRectBounds(t, left, f.Tile)
+			rlb, rub := te.Ev.FlatRectBounds(t, right, f.Tile)
+			st.NodesEvaluated += 2
+			out = append(out,
+				fitem{id: left, seed: -1, lb: llb, ub: lub},
+				fitem{id: right, seed: -1, lb: rlb, ub: rub})
+			continue
+		}
+		out = append(out, it)
+	}
+	te.scratch = out
+	f.setSeeds(out)
+	if f.envOK && !f.envSettled {
+		// The τKDV pre-check envelope covers the seed set, which just
+		// changed; re-collapse it.
+		te.buildEnvelope(f, &st)
+	}
+	return st
+}
+
+func (te *FlatTileEngine) buildEnvelope(f *FlatFrontier, st *Stats) {
+	f.envSettled = false
+	d := len(f.Tile.Min)
+	if cap(f.envCenter) < d {
+		f.envCenter = make([]float64, d)
+	}
+	f.envCenter = f.envCenter[:d]
+	for i := 0; i < d; i++ {
+		f.envCenter[i] = (f.Tile.Min[i] + f.Tile.Max[i]) / 2
+	}
+	f.envLB.Reset(d)
+	f.envUB.Reset(d)
+	for i := range f.seeds {
+		if !te.Ev.FlatAccumulateRectEnvelope(te.Tree, f.seeds[i].id, f.Tile, f.envCenter, &f.envLB, &f.envUB) {
+			f.envOK = false
+			return
+		}
+		st.NodesEvaluated++
+	}
+	f.envOK = true
+}
+
+// sortFlatCandidatesByGap orders cands (and the parallel gaps slice) by
+// ascending gap, tie-broken on the node's point range. The comparator is a
+// total order over a disjoint node cover (Start values are unique across the
+// cover), so the sorted permutation is identical to the pointer path's.
+func sortFlatCandidatesByGap(t *flat.Tree, cands []fitem, gaps []float64) {
+	sort.Sort(&flatCandGapSorter{t, cands, gaps})
+}
+
+type flatCandGapSorter struct {
+	tree  *flat.Tree
+	items []fitem
+	gaps  []float64
+}
+
+func (s *flatCandGapSorter) Len() int { return len(s.items) }
+func (s *flatCandGapSorter) Less(i, j int) bool {
+	if s.gaps[i] != s.gaps[j] {
+		return s.gaps[i] < s.gaps[j]
+	}
+	return s.tree.Start[s.items[i].id] < s.tree.Start[s.items[j].id]
+}
+func (s *flatCandGapSorter) Swap(i, j int) {
+	s.items[i], s.items[j] = s.items[j], s.items[i]
+	s.gaps[i], s.gaps[j] = s.gaps[j], s.gaps[i]
+}
+
+// sortFlatCandidates orders items by ascending gap, tie-broken on the node's
+// point range (see sortCandidates).
+func sortFlatCandidates(t *flat.Tree, items []fitem) {
+	sort.Slice(items, func(i, j int) bool {
+		gi, gj := fgap(items[i]), fgap(items[j])
+		if gi != gj {
+			return gi < gj
+		}
+		return t.Start[items[i].id] < t.Start[items[j].id]
+	})
+}
+
+// --- shared-phase heap (same max-gap binary heap as the per-pixel queue) ---
+
+func (te *FlatTileEngine) heapPushTile(it fitem) {
+	te.theap = append(te.theap, it)
+	i := len(te.theap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if fgap(te.theap[parent]) >= fgap(te.theap[i]) {
+			break
+		}
+		te.theap[parent], te.theap[i] = te.theap[i], te.theap[parent]
+		i = parent
+	}
+}
+
+func (te *FlatTileEngine) heapPopTile() fitem {
+	h := te.theap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	te.theap = h[:last]
+	h = te.theap
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(h) && fgap(h[l]) > fgap(h[big]) {
+			big = l
+		}
+		if r < len(h) && fgap(h[r]) > fgap(h[big]) {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+	return top
+}
+
+func (te *FlatTileEngine) tilePending() (lb, ub float64) {
+	for _, it := range te.theap {
+		lb += it.lb
+		ub += it.ub
+	}
+	return lb, ub
+}
+
+// EvalEpsFrom answers an εKDV query warm-started from a flat frontier (see
+// Engine.EvalEpsFrom).
+func (e *FlatEngine) EvalEpsFrom(f *FlatFrontier, q []float64, eps float64) (float64, Stats) {
+	lb, ub, st := e.refineFrom(f, q, func(lb, ub float64) bool {
+		return ub <= (1+eps)*lb
+	})
+	st.LB, st.UB = lb, ub
+	return (lb + ub) / 2, st
+}
+
+// EvalTauFrom answers a τKDV query warm-started from a flat frontier (see
+// Engine.EvalTauFrom).
+func (e *FlatEngine) EvalTauFrom(f *FlatFrontier, q []float64, tau float64) (bool, Stats) {
+	if f.Decided {
+		return f.Hot, Stats{}
+	}
+	if f.envOK && !f.envSettled {
+		// Each envelope side is an independently valid bound, so a one-sided
+		// decision here is exactly the classification refinement would reach.
+		lb, ub := f.envBounds(q)
+		if lb >= tau {
+			return true, Stats{Iterations: 1, LB: lb, UB: ub}
+		}
+		if ub < tau {
+			return false, Stats{Iterations: 1, LB: lb, UB: ub}
+		}
+	}
+	lb, ub, st := e.refineFrom(f, q, func(lb, ub float64) bool {
+		return lb >= tau || ub <= tau
+	})
+	st.LB, st.UB = lb, ub
+	return lb >= tau, st
+}
+
+// refineFrom is Engine.refineFrom over the flat arrays: frontier-seeded
+// refinement with identical bookkeeping and promotion hit recording.
+func (e *FlatEngine) refineFrom(f *FlatFrontier, q []float64, done func(lb, ub float64) bool) (flb, fub float64, st Stats) {
+	e.heap = append(e.heap[:0], f.seeds...)
+	e.heapify()
+	t := e.Tree
+	baseLB, baseUB := f.SettledLB, f.SettledUB
+	if f.envOK && f.envSettled {
+		// The settled envelope is part of this pixel's base: one O(d)
+		// evaluation per side covers every node folded into it.
+		baseLB += f.envLB.Eval(q, f.envCenter)
+		baseUB += f.envUB.Eval(q, f.envCenter)
+		if baseLB < 0 {
+			baseLB = 0
+		}
+		if baseUB < baseLB {
+			mid := (baseLB + baseUB) / 2
+			baseLB, baseUB = mid, mid
+		}
+	}
+
+	var exactAcc float64
+	lbPend, ubPend := f.seedLB, f.seedUB
+	for len(e.heap) > 0 {
+		if lbPend < 0 || ubPend < 0 || done(baseLB+exactAcc+lbPend, baseUB+exactAcc+ubPend) {
+			lbPend, ubPend = e.recomputePending()
+			if done(baseLB+exactAcc+lbPend, baseUB+exactAcc+ubPend) {
+				break
+			}
+		}
+		st.Iterations++
+		it := e.heapPop()
+		id := it.id
+		left := t.Left[id]
+		if left == flat.NoChild {
+			if it.seed >= 0 {
+				// A leaf seed still carries its loose tile-uniform bounds.
+				// Tighten with this pixel's bounds before committing to an
+				// exact scan.
+				llb, lub := e.Ev.FlatBounds(t, id, q)
+				st.NodesEvaluated++
+				lbPend += llb - it.lb
+				ubPend += lub - it.ub
+				e.heapPush(fitem{id: id, seed: -1, lb: llb, ub: lub})
+				continue
+			}
+			exactAcc += e.Ev.FlatExactNode(t, id, q)
+			st.LeafScans++
+			st.PointsScanned += t.Size(id)
+			lbPend -= it.lb
+			ubPend -= it.ub
+			continue
+		}
+		if it.seed >= 0 {
+			f.hits[it.seed]++
+		}
+		right := t.Right[id]
+		llb, lub := e.Ev.FlatBounds(t, left, q)
+		rlb, rub := e.Ev.FlatBounds(t, right, q)
+		st.NodesEvaluated += 2
+		lbPend += llb + rlb - it.lb
+		ubPend += lub + rub - it.ub
+		e.heapPush(fitem{id: left, seed: -1, lb: llb, ub: lub})
+		e.heapPush(fitem{id: right, seed: -1, lb: rlb, ub: rub})
+	}
+	if len(e.heap) == 0 {
+		// Fully refined: only the settled tile-wide gap remains.
+		return baseLB + exactAcc, baseUB + exactAcc, st
+	}
+	lb, ub := baseLB+exactAcc+lbPend, baseUB+exactAcc+ubPend
+	if lb > ub {
+		mid := (lb + ub) / 2
+		lb, ub = mid, mid
+	}
+	return lb, ub, st
+}

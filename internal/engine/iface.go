@@ -1,0 +1,136 @@
+package engine
+
+import "github.com/quadkdv/quad/internal/geom"
+
+// Renderer is the engine surface the render path drives: per-pixel εKDV/τKDV
+// evaluation, the tile-shared frontier protocol, and the exact fallbacks. Two
+// implementations exist — PointerRenderer over the original *kdtree.Node tree
+// and FlatRenderer over the SoA flat tree — and the render path is written
+// against this interface so the layout is a construction-time choice
+// (quad.WithEngineLayout). The per-call interface dispatch is amortized over
+// an entire tile build or pixel refinement, so it is not measurable against
+// the traversal work behind it.
+//
+// Both implementations produce bit-identical rasters for identical
+// configurations; the conformance flat-vs-pointer differential pass keeps
+// the pointer engine as the test oracle for the flat one.
+type Renderer interface {
+	// NewFront returns an empty reusable frontier of the renderer's
+	// representation; it may only be passed back to the same renderer kind.
+	NewFront() Front
+
+	BuildFrontierEps(tile geom.Rect, eps float64, f Front) Stats
+	BuildFrontierEpsCoarse(tile geom.Rect, eps float64, f Front) Stats
+	BuildFrontierEpsFrom(parent Front, tile geom.Rect, eps float64, f Front) Stats
+	BuildFrontierTau(tile geom.Rect, tau float64, f Front) Stats
+	BuildFrontierTauFrom(parent Front, tile geom.Rect, tau float64, f Front) Stats
+	Promote(f Front) Stats
+	Saturated(f Front) bool
+
+	EvalEps(q []float64, eps float64) (float64, Stats)
+	EvalTau(q []float64, tau float64) (bool, Stats)
+	EvalEpsFrom(f Front, q []float64, eps float64) (float64, Stats)
+	EvalTauFrom(f Front, q []float64, tau float64) (bool, Stats)
+
+	// Exact computes F_P(q) exactly through the tree.
+	Exact(q []float64) float64
+	// RootBounds returns the configured method's whole-dataset bounds at q
+	// without refinement (paper Section 7.3 diagnostics).
+	RootBounds(q []float64) (lb, ub float64)
+}
+
+// Front is a tile frontier handle: the opaque, reusable product of a
+// renderer's shared phase. Concrete types are *Frontier and *FlatFrontier.
+type Front interface {
+	// State reports a tile-wide τKDV classification: decided means every
+	// pixel of the tile shares the hot bit without per-pixel work.
+	State() (decided, hot bool)
+	// Size returns the residual frontier's node count.
+	Size() int
+}
+
+// State reports the tile-wide τKDV classification (Front).
+func (f *Frontier) State() (decided, hot bool) { return f.Decided, f.Hot }
+
+// PointerRenderer adapts the pointer-tree TileEngine to the Renderer
+// surface. The concrete methods (promoted from TileEngine/Engine) remain
+// available for code that holds the concrete type.
+type PointerRenderer struct{ *TileEngine }
+
+// NewFront returns an empty *Frontier.
+func (r PointerRenderer) NewFront() Front { return new(Frontier) }
+
+func (r PointerRenderer) BuildFrontierEps(tile geom.Rect, eps float64, f Front) Stats {
+	return r.TileEngine.BuildFrontierEps(tile, eps, f.(*Frontier))
+}
+
+func (r PointerRenderer) BuildFrontierEpsCoarse(tile geom.Rect, eps float64, f Front) Stats {
+	return r.TileEngine.BuildFrontierEpsCoarse(tile, eps, f.(*Frontier))
+}
+
+func (r PointerRenderer) BuildFrontierEpsFrom(parent Front, tile geom.Rect, eps float64, f Front) Stats {
+	return r.TileEngine.BuildFrontierEpsFrom(parent.(*Frontier), tile, eps, f.(*Frontier))
+}
+
+func (r PointerRenderer) BuildFrontierTau(tile geom.Rect, tau float64, f Front) Stats {
+	return r.TileEngine.BuildFrontierTau(tile, tau, f.(*Frontier))
+}
+
+func (r PointerRenderer) BuildFrontierTauFrom(parent Front, tile geom.Rect, tau float64, f Front) Stats {
+	return r.TileEngine.BuildFrontierTauFrom(parent.(*Frontier), tile, tau, f.(*Frontier))
+}
+
+func (r PointerRenderer) Promote(f Front) Stats { return r.TileEngine.Promote(f.(*Frontier)) }
+
+func (r PointerRenderer) Saturated(f Front) bool { return r.TileEngine.Saturated(f.(*Frontier)) }
+
+func (r PointerRenderer) EvalEpsFrom(f Front, q []float64, eps float64) (float64, Stats) {
+	return r.Engine.EvalEpsFrom(f.(*Frontier), q, eps)
+}
+
+func (r PointerRenderer) EvalTauFrom(f Front, q []float64, tau float64) (bool, Stats) {
+	return r.Engine.EvalTauFrom(f.(*Frontier), q, tau)
+}
+
+// RootBounds returns the evaluator's whole-dataset bounds at q.
+func (r PointerRenderer) RootBounds(q []float64) (lb, ub float64) {
+	return r.Ev.Bounds(r.Tree.Root, q)
+}
+
+// FlatRenderer adapts the flat-tree FlatTileEngine to the Renderer surface.
+type FlatRenderer struct{ *FlatTileEngine }
+
+// NewFront returns an empty *FlatFrontier.
+func (r FlatRenderer) NewFront() Front { return new(FlatFrontier) }
+
+func (r FlatRenderer) BuildFrontierEps(tile geom.Rect, eps float64, f Front) Stats {
+	return r.FlatTileEngine.BuildFrontierEps(tile, eps, f.(*FlatFrontier))
+}
+
+func (r FlatRenderer) BuildFrontierEpsCoarse(tile geom.Rect, eps float64, f Front) Stats {
+	return r.FlatTileEngine.BuildFrontierEpsCoarse(tile, eps, f.(*FlatFrontier))
+}
+
+func (r FlatRenderer) BuildFrontierEpsFrom(parent Front, tile geom.Rect, eps float64, f Front) Stats {
+	return r.FlatTileEngine.BuildFrontierEpsFrom(parent.(*FlatFrontier), tile, eps, f.(*FlatFrontier))
+}
+
+func (r FlatRenderer) BuildFrontierTau(tile geom.Rect, tau float64, f Front) Stats {
+	return r.FlatTileEngine.BuildFrontierTau(tile, tau, f.(*FlatFrontier))
+}
+
+func (r FlatRenderer) BuildFrontierTauFrom(parent Front, tile geom.Rect, tau float64, f Front) Stats {
+	return r.FlatTileEngine.BuildFrontierTauFrom(parent.(*FlatFrontier), tile, tau, f.(*FlatFrontier))
+}
+
+func (r FlatRenderer) Promote(f Front) Stats { return r.FlatTileEngine.Promote(f.(*FlatFrontier)) }
+
+func (r FlatRenderer) Saturated(f Front) bool { return r.FlatTileEngine.Saturated(f.(*FlatFrontier)) }
+
+func (r FlatRenderer) EvalEpsFrom(f Front, q []float64, eps float64) (float64, Stats) {
+	return r.FlatEngine.EvalEpsFrom(f.(*FlatFrontier), q, eps)
+}
+
+func (r FlatRenderer) EvalTauFrom(f Front, q []float64, tau float64) (bool, Stats) {
+	return r.FlatEngine.EvalTauFrom(f.(*FlatFrontier), q, tau)
+}

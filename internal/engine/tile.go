@@ -39,7 +39,7 @@ const (
 	DefaultMaxFrontier = 256
 	// promoteHits is how many pixels must expand a frontier node before it
 	// is promoted (replaced tile-wide by its children).
-	promoteHits = 2
+	promoteHits = 1
 	// promoteCapFactor bounds frontier growth under promotion, as a
 	// multiple of the configured frontier cap.
 	promoteCapFactor = 3
@@ -47,7 +47,7 @@ const (
 	// may spend on settled-node gaps. It must stay < 1 so per-pixel
 	// refinement can always reach ub ≤ (1+ε)·lb even after fully refining
 	// the frontier (the residual gap is then exactly the settled gap).
-	settleFrac = 0.5
+	settleFrac = 0.9
 	// tileEpsFrac stops shared expansion once the tile-uniform bounds are
 	// already within this fraction of the ε budget — the whole tile is then
 	// answerable with (at most) queue-seeding work per pixel.

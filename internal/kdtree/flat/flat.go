@@ -1,0 +1,501 @@
+// Package flat is the contiguous struct-of-arrays (SoA) representation of
+// the kdtree package's pointer tree — the render engine's production memory
+// layout. The pointer tree allocates every node and each of its five moment
+// slices separately, so the refinement hot loop (millions of node visits per
+// raster) is bound by cache misses chasing node pointers and slice headers.
+// The flat tree stores the same nodes as parallel arrays indexed by an int32
+// node id:
+//
+//   - child and point indices are int32 (half the pointer width, no GC scan),
+//   - per-node scalars (SumW, SumNorm2, SumNorm4, Radius) are one float64
+//     array each,
+//   - per-node vectors (rect corners, Center, SumP, SumNorm2P) are d-strided
+//     arrays, and the optional Gram matrices are d²-strided,
+//
+// laid out in BFS order: the top of the tree — the part every query walks —
+// occupies a contiguous prefix, and each node's two children are adjacent,
+// so expanding a node touches one cache line of ids instead of two heap
+// objects. (BFS is the breadth-first special case of the van Emde Boas
+// blocking family: with the whole hot top fitting in L2 for realistic trees,
+// the deeper vEB recursion buys nothing here and BFS keeps ids monotone in
+// depth, which the structural invariants below exploit.)
+//
+// Correctness contract: every query-time method mirrors its pointer-tree
+// counterpart operation for operation — loops are unrolled for d == 2 but
+// never reassociated — so bound engines running on either representation
+// produce bit-identical rasters. The conversion copies node statistics
+// verbatim (0 ULP), which the FuzzFlatTreeInvariants target and the
+// conformance flat-vs-pointer differential pass enforce.
+package flat
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/quadkdv/quad/internal/geom"
+	"github.com/quadkdv/quad/internal/kdtree"
+)
+
+// NoChild marks an absent child index (leaves).
+const NoChild = int32(-1)
+
+// Tree is the SoA kd-tree. All slices are indexed by node id (BFS order,
+// root = 0); vector fields are strided by the tree's dimension d, Gram by d².
+type Tree struct {
+	// Pts and Weights alias the source tree's reordered point buffer; leaves
+	// remain contiguous coordinate ranges.
+	Pts     geom.Points
+	Weights []float64
+
+	// Left and Right are child node ids, NoChild for leaves. A node has
+	// either two children or none, exactly like the pointer tree.
+	Left, Right []int32
+	// Start and End delimit the node's point range [Start, End) in Pts.
+	Start, End []int32
+
+	// RectMin and RectMax are the node MBR corners (d-strided).
+	RectMin, RectMax []float64
+	// Center is the MBR center the moments are taken around (d-strided).
+	Center []float64
+	// SumP is Σw·(p−Center) (d-strided); SumNorm2P is Σw·‖p−Center‖²·(p−Center).
+	SumP, SumNorm2P []float64
+	// SumW, SumNorm2, SumNorm4 and Radius are the per-node scalar stats.
+	SumW, SumNorm2, SumNorm4, Radius []float64
+	// Gram is Σw·(p−Center)·(p−Center)ᵀ row-major (d²-strided), nil when the
+	// source tree was built without the Gram statistic.
+	Gram []float64
+
+	// LeafSize is the source tree's leaf capacity.
+	LeafSize int
+
+	dim      int
+	numNodes int
+}
+
+// FromTree flattens a built pointer tree in one BFS pass. Node statistics
+// are copied verbatim (bit-identical); the point buffer is shared, not
+// copied.
+func FromTree(t *kdtree.Tree) (*Tree, error) {
+	if t == nil || t.Root == nil {
+		return nil, fmt.Errorf("flat: nil or empty source tree")
+	}
+	d := t.Dim()
+	n := t.NumNodes()
+	ft := &Tree{
+		Pts:       t.Pts,
+		Weights:   t.Weights,
+		LeafSize:  t.LeafSize,
+		dim:       d,
+		numNodes:  n,
+		Left:      make([]int32, 0, n),
+		Right:     make([]int32, 0, n),
+		Start:     make([]int32, 0, n),
+		End:       make([]int32, 0, n),
+		RectMin:   make([]float64, 0, n*d),
+		RectMax:   make([]float64, 0, n*d),
+		Center:    make([]float64, 0, n*d),
+		SumP:      make([]float64, 0, n*d),
+		SumNorm2P: make([]float64, 0, n*d),
+		SumW:      make([]float64, 0, n),
+		SumNorm2:  make([]float64, 0, n),
+		SumNorm4:  make([]float64, 0, n),
+		Radius:    make([]float64, 0, n),
+	}
+	if t.HasGram() {
+		ft.Gram = make([]float64, 0, n*d*d)
+	}
+	// BFS: assign ids in queue order; children are therefore adjacent (the
+	// queue appends them together) and ids are monotone in depth.
+	queue := make([]*kdtree.Node, 0, n)
+	queue = append(queue, t.Root)
+	for head := 0; head < len(queue); head++ {
+		nd := queue[head]
+		id := int32(len(ft.Left))
+		_ = id
+		if nd.Left != nil {
+			ft.Left = append(ft.Left, int32(len(queue)))
+			ft.Right = append(ft.Right, int32(len(queue)+1))
+			queue = append(queue, nd.Left, nd.Right)
+		} else {
+			ft.Left = append(ft.Left, NoChild)
+			ft.Right = append(ft.Right, NoChild)
+		}
+		ft.Start = append(ft.Start, int32(nd.Start))
+		ft.End = append(ft.End, int32(nd.End))
+		ft.RectMin = append(ft.RectMin, nd.Rect.Min...)
+		ft.RectMax = append(ft.RectMax, nd.Rect.Max...)
+		ft.Center = append(ft.Center, nd.Center...)
+		ft.SumP = append(ft.SumP, nd.SumP...)
+		ft.SumNorm2P = append(ft.SumNorm2P, nd.SumNorm2P...)
+		ft.SumW = append(ft.SumW, nd.SumW)
+		ft.SumNorm2 = append(ft.SumNorm2, nd.SumNorm2)
+		ft.SumNorm4 = append(ft.SumNorm4, nd.SumNorm4)
+		ft.Radius = append(ft.Radius, nd.Radius)
+		if ft.Gram != nil {
+			ft.Gram = append(ft.Gram, nd.Gram...)
+		}
+	}
+	if len(ft.Left) != n {
+		return nil, fmt.Errorf("flat: BFS visited %d nodes, tree reports %d", len(ft.Left), n)
+	}
+	return ft, nil
+}
+
+// Build constructs a flat tree directly from points: the rebuild-from-points
+// path for streaming re-ingest. It runs the pointer builder (which reorders
+// pts in place, exactly like kdtree.Build) and flattens the result, so a
+// rebuilt flat tree is bit-identical to flattening a fresh pointer build
+// over the same buffer.
+func Build(pts geom.Points, opt kdtree.Options) (*Tree, error) {
+	t, err := kdtree.Build(pts, opt)
+	if err != nil {
+		return nil, err
+	}
+	return FromTree(t)
+}
+
+// NumNodes returns the node count.
+func (t *Tree) NumNodes() int { return t.numNodes }
+
+// Dim returns the dimensionality of the indexed points.
+func (t *Tree) Dim() int { return t.dim }
+
+// HasGram reports whether nodes carry the Gram statistic.
+func (t *Tree) HasGram() bool { return t.Gram != nil }
+
+// IsLeaf reports whether node id has no children.
+func (t *Tree) IsLeaf(id int32) bool { return t.Left[id] == NoChild }
+
+// Size returns the number of points under node id.
+func (t *Tree) Size(id int32) int { return int(t.End[id] - t.Start[id]) }
+
+// WeightAt returns point i's weight (1 for unweighted trees).
+func (t *Tree) WeightAt(i int) float64 {
+	if t.Weights == nil {
+		return 1
+	}
+	return t.Weights[i]
+}
+
+// Rect returns a view of node id's MBR backed by the tree's arrays. The
+// returned rect must not be mutated.
+func (t *Tree) Rect(id int32) geom.Rect {
+	o := int(id) * t.dim
+	return geom.Rect{Min: t.RectMin[o : o+t.dim : o+t.dim], Max: t.RectMax[o : o+t.dim : o+t.dim]}
+}
+
+// CenterAt returns a view of node id's moment center.
+func (t *Tree) CenterAt(id int32) []float64 {
+	o := int(id) * t.dim
+	return t.Center[o : o+t.dim : o+t.dim]
+}
+
+// MinDist2 returns the squared distance from q to node id's MBR — the SoA
+// counterpart of geom.Rect.MinDist2, same per-dimension operations.
+func (t *Tree) MinDist2(id int32, q []float64) float64 {
+	o := int(id) * t.dim
+	if len(q) == 2 {
+		mn, mx := t.RectMin[o:o+2:o+2], t.RectMax[o:o+2:o+2]
+		var s float64
+		v := q[0]
+		switch {
+		case v < mn[0]:
+			d := mn[0] - v
+			s += d * d
+		case v > mx[0]:
+			d := v - mx[0]
+			s += d * d
+		}
+		v = q[1]
+		switch {
+		case v < mn[1]:
+			d := mn[1] - v
+			s += d * d
+		case v > mx[1]:
+			d := v - mx[1]
+			s += d * d
+		}
+		return s
+	}
+	return t.Rect(id).MinDist2(q)
+}
+
+// MaxDist2 returns the squared distance from q to the farthest point of node
+// id's MBR — the SoA counterpart of geom.Rect.MaxDist2.
+func (t *Tree) MaxDist2(id int32, q []float64) float64 {
+	o := int(id) * t.dim
+	if len(q) == 2 {
+		mn, mx := t.RectMin[o:o+2:o+2], t.RectMax[o:o+2:o+2]
+		var s float64
+		for i := 0; i < 2; i++ {
+			v := q[i]
+			dLo := v - mn[i]
+			dHi := mx[i] - v
+			if dLo < 0 {
+				dLo = -dLo
+			}
+			if dHi < 0 {
+				dHi = -dHi
+			}
+			d := dLo
+			if dHi > d {
+				d = dHi
+			}
+			s += d * d
+		}
+		return s
+	}
+	return t.Rect(id).MaxDist2(q)
+}
+
+// Dist2Center returns the squared distance from q to node id's moment
+// center, mirroring geom.Dist2(q, n.Center).
+func (t *Tree) Dist2Center(id int32, q []float64) float64 {
+	o := int(id) * t.dim
+	c := t.Center[o : o+t.dim : o+t.dim]
+	var s float64
+	for i, v := range q {
+		d := v - c[i]
+		s += d * d
+	}
+	return s
+}
+
+// SumDist2 returns Σw·dist(q,p)² over node id's points in O(d) from the
+// centered moments — Node.SumDist2 with the d == 2 loop unrolled.
+func (t *Tree) SumDist2(id int32, q, scratch []float64) float64 {
+	o := int(id) * t.dim
+	if len(q) == 2 {
+		c := t.Center[o : o+2 : o+2]
+		sp := t.SumP[o : o+2 : o+2]
+		qc0 := q[0] - c[0]
+		qc1 := q[1] - c[1]
+		var qn2 float64
+		qn2 += qc0 * qc0
+		qn2 += qc1 * qc1
+		var dot float64
+		dot += qc0 * sp[0]
+		dot += qc1 * sp[1]
+		return t.SumW[id]*qn2 - 2*dot + t.SumNorm2[id]
+	}
+	d := t.dim
+	c := t.Center[o : o+d : o+d]
+	qc := scratch[:len(q)]
+	var qn2 float64
+	for i := range q {
+		qc[i] = q[i] - c[i]
+		qn2 += qc[i] * qc[i]
+	}
+	return t.SumW[id]*qn2 - 2*geom.Dot(qc, t.SumP[o:o+d:o+d]) + t.SumNorm2[id]
+}
+
+// SumDist24 returns both Σw·dist² and Σw·dist⁴ in one pass — Node.SumDist24
+// with the d == 2 loops unrolled. It requires the Gram statistic.
+func (t *Tree) SumDist24(id int32, q, scratch []float64) (s2, s4 float64) {
+	if t.Gram == nil {
+		panic("flat: SumDist24 requires a tree built with Options.Gram")
+	}
+	o := int(id) * t.dim
+	if len(q) == 2 {
+		c := t.Center[o : o+2 : o+2]
+		sp := t.SumP[o : o+2 : o+2]
+		s2p := t.SumNorm2P[o : o+2 : o+2]
+		g := t.Gram[int(id)*4 : int(id)*4+4 : int(id)*4+4]
+		qc0 := q[0] - c[0]
+		qc1 := q[1] - c[1]
+		var qn2 float64
+		qn2 += qc0 * qc0
+		qn2 += qc1 * qc1
+		var dotA float64
+		dotA += qc0 * sp[0]
+		dotA += qc1 * sp[1]
+		sumW := t.SumW[id]
+		sumN2 := t.SumNorm2[id]
+		s2 = sumW*qn2 - 2*dotA + sumN2
+		var quad float64
+		var s float64
+		s += g[0] * qc0
+		s += g[1] * qc1
+		quad += qc0 * s
+		s = 0
+		s += g[2] * qc0
+		s += g[3] * qc1
+		quad += qc1 * s
+		var dotV float64
+		dotV += qc0 * s2p[0]
+		dotV += qc1 * s2p[1]
+		s4 = sumW*qn2*qn2 - 4*qn2*dotA - 4*dotV +
+			2*qn2*sumN2 + t.SumNorm4[id] + 4*quad
+		return s2, s4
+	}
+	d := t.dim
+	c := t.Center[o : o+d : o+d]
+	qc := scratch[:d]
+	var qn2 float64
+	for i := 0; i < d; i++ {
+		qc[i] = q[i] - c[i]
+		qn2 += qc[i] * qc[i]
+	}
+	dotA := geom.Dot(qc, t.SumP[o:o+d:o+d])
+	s2 = t.SumW[id]*qn2 - 2*dotA + t.SumNorm2[id]
+	var quad float64
+	gram := t.Gram[int(id)*d*d:]
+	for r := 0; r < d; r++ {
+		row := gram[r*d : (r+1)*d]
+		var s float64
+		for cc := 0; cc < d; cc++ {
+			s += row[cc] * qc[cc]
+		}
+		quad += qc[r] * s
+	}
+	s4 = t.SumW[id]*qn2*qn2 - 4*qn2*dotA - 4*geom.Dot(qc, t.SumNorm2P[o:o+d:o+d]) +
+		2*qn2*t.SumNorm2[id] + t.SumNorm4[id] + 4*quad
+	return s2, s4
+}
+
+// RectSumDist2 returns the exact range of SumDist2 over every query point in
+// the rectangle — Node.RectSumDist2 with the d == 2 loop unrolled.
+func (t *Tree) RectSumDist2(id int32, rect geom.Rect) (lo, hi float64) {
+	w := t.SumW[id]
+	if w <= 0 {
+		return 0, 0
+	}
+	o := int(id) * t.dim
+	var m2, sumMin, sumMax float64
+	if t.dim == 2 {
+		c := t.Center[o : o+2 : o+2]
+		sp := t.SumP[o : o+2 : o+2]
+		for d := 0; d < 2; d++ {
+			m := sp[d] / w
+			m2 += sp[d] * m
+			qlo := rect.Min[d] - c[d] - m
+			qhi := rect.Max[d] - c[d] - m
+			switch {
+			case qlo > 0:
+				sumMin += qlo * qlo
+			case qhi < 0:
+				sumMin += qhi * qhi
+			}
+			if lo2, hi2 := qlo*qlo, qhi*qhi; lo2 > hi2 {
+				sumMax += lo2
+			} else {
+				sumMax += hi2
+			}
+		}
+	} else {
+		c := t.Center[o : o+t.dim : o+t.dim]
+		sp := t.SumP[o : o+t.dim : o+t.dim]
+		for d := range c {
+			m := sp[d] / w
+			m2 += sp[d] * m
+			qlo := rect.Min[d] - c[d] - m
+			qhi := rect.Max[d] - c[d] - m
+			switch {
+			case qlo > 0:
+				sumMin += qlo * qlo
+			case qhi < 0:
+				sumMin += qhi * qhi
+			}
+			if lo2, hi2 := qlo*qlo, qhi*qhi; lo2 > hi2 {
+				sumMax += lo2
+			} else {
+				sumMax += hi2
+			}
+		}
+	}
+	base := t.SumNorm2[id] - m2
+	lo = w*sumMin + base
+	hi = w*sumMax + base
+	if lo < 0 {
+		lo = 0
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// RectDist2 returns the squared-distance interval between node id's points
+// and any query point in rect — Node.RectDist2 over the SoA arrays.
+func (t *Tree) RectDist2(id int32, rect geom.Rect, useBall bool) (min2, max2 float64) {
+	o := int(id) * t.dim
+	d := t.dim
+	mn, mx := t.RectMin[o:o+d:o+d], t.RectMax[o:o+d:o+d]
+	// MinDist2Rect/MaxDist2Rect with the node rect as the receiver, unrolled
+	// over dimensions by the compiler-friendly bounded loop.
+	var s float64
+	for i := 0; i < d; i++ {
+		switch {
+		case rect.Max[i] < mn[i]:
+			dd := mn[i] - rect.Max[i]
+			s += dd * dd
+		case rect.Min[i] > mx[i]:
+			dd := rect.Min[i] - mx[i]
+			s += dd * dd
+		}
+	}
+	min2 = s
+	s = 0
+	for i := 0; i < d; i++ {
+		dd := mx[i] - rect.Min[i]
+		if alt := rect.Max[i] - mn[i]; alt > dd {
+			dd = alt
+		}
+		if dd < 0 {
+			dd = -dd
+		}
+		s += dd * dd
+	}
+	max2 = s
+	if useBall {
+		c := t.Center[o : o+d : o+d]
+		dcMin := math.Sqrt(rect.MinDist2(c))
+		dcMax := math.Sqrt(rect.MaxDist2(c))
+		r := t.Radius[id]
+		if bmin := dcMin - r; bmin > 0 {
+			if b2 := bmin * bmin; b2 > min2 {
+				min2 = b2
+			}
+		}
+		bmax := dcMax + r
+		if b2 := bmax * bmax; b2 < max2 {
+			max2 = b2
+		}
+	}
+	return min2, max2
+}
+
+// Walk visits every node id in pre-order; returning false prunes the
+// subtree.
+func (t *Tree) Walk(fn func(id int32) bool) {
+	var rec func(id int32)
+	rec = func(id int32) {
+		if id == NoChild || !fn(id) {
+			return
+		}
+		rec(t.Left[id])
+		rec(t.Right[id])
+	}
+	if t.numNodes > 0 {
+		rec(0)
+	}
+}
+
+// Height returns the tree's height (a single node has height 1).
+func (t *Tree) Height() int {
+	var rec func(id int32) int
+	rec = func(id int32) int {
+		if id == NoChild {
+			return 0
+		}
+		l, r := rec(t.Left[id]), rec(t.Right[id])
+		if r > l {
+			l = r
+		}
+		return l + 1
+	}
+	if t.numNodes == 0 {
+		return 0
+	}
+	return rec(0)
+}

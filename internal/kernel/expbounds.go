@@ -66,10 +66,11 @@ func ExpQuadUpper(xmin, xmax float64) Quadratic {
 		return Quadratic{A: 0, B: 0, C: math.Exp(-xmin)}
 	}
 	eMin := math.Exp(-xmin)
+	em1 := math.Expm1(-w)
 	// a_u* = e^{−xmin}·(1 − (w+1)e^{−w})/w². The parenthesized factor is
 	// ~w²/2 for small w and cancels catastrophically if evaluated
 	// directly; −(w + (w+1)·expm1(−w)) is the stable form.
-	g := -(w + (w+1)*math.Expm1(-w))
+	g := -(w + (w+1)*em1)
 	au := eMin * g / (w * w)
 	if au < 0 {
 		// g ≥ 0 analytically; guard against rounding by falling back to
@@ -79,9 +80,9 @@ func ExpQuadUpper(xmin, xmax float64) Quadratic {
 	// Chord slope and the cu interpolation term, both in cancellation-free
 	// forms: (e^{−xmax}−e^{−xmin})/w = eMin·expm1(−w)/w and
 	// (eMin·xmax − eMax·xmin)/w = eMin·(w − xmin·expm1(−w))/w.
-	m := eMin * math.Expm1(-w) / w
+	m := eMin * em1 / w
 	bu := m - au*(xmin+xmax)
-	cu := eMin*(w-xmin*math.Expm1(-w))/w + au*xmin*xmax
+	cu := eMin*(w-xmin*em1)/w + au*xmin*xmax
 	return Quadratic{A: au, B: bu, C: cu}
 }
 

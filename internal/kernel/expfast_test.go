@@ -1,0 +1,136 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+)
+
+// ulpDiff returns the distance in representable float64 steps between a and
+// b (0 when bit-identical), or MaxUint64 for NaN disagreements.
+func ulpDiff(a, b float64) uint64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		if math.IsNaN(a) && math.IsNaN(b) {
+			return 0
+		}
+		return math.MaxUint64
+	}
+	ba, bb := math.Float64bits(a), math.Float64bits(b)
+	if ba == bb {
+		return 0
+	}
+	// Map to a monotone integer line (sign-magnitude to biased).
+	conv := func(u uint64) uint64 {
+		if u>>63 != 0 {
+			return ^u
+		}
+		return u | (1 << 63)
+	}
+	ia, ib := conv(ba), conv(bb)
+	if ia > ib {
+		return ia - ib
+	}
+	return ib - ia
+}
+
+// TestExp1Accuracy sweeps exp's useful domain and edge cases and requires
+// Exp1 to stay within 1 ulp of math.Exp (the two differ only when math.Exp
+// takes a fused-multiply-add hardware path).
+func TestExp1Accuracy(t *testing.T) {
+	xs := []float64{
+		0, math.Copysign(0, -1), 1, -1,
+		709.78271289338397, 709.9, -744, -745.1, -745.2, -746, -1000,
+		-708.5, 708.5, 1e-300, -1e-300, expLn2Hi, -expLn2Hi,
+	}
+	for x := -746.0; x <= 710; x += 0.013771 {
+		xs = append(xs, x)
+	}
+	for x := -2.0; x <= 2; x += 0.000317 {
+		xs = append(xs, x)
+	}
+	for _, x := range xs {
+		got, want := Exp1(x), math.Exp(x)
+		if d := ulpDiff(got, want); d > 1 {
+			t.Fatalf("Exp1(%g) = %.17g, math.Exp = %.17g (%d ulp apart)", x, got, want, d)
+		}
+	}
+}
+
+// TestExp1Specials pins the special-case behavior to math.Exp's exactly.
+func TestExp1Specials(t *testing.T) {
+	for _, x := range []float64{math.Inf(1), math.Inf(-1), math.NaN(), 710, 1e300, -1e300} {
+		got, want := Exp1(x), math.Exp(x)
+		if math.Float64bits(got) != math.Float64bits(want) &&
+			!(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Fatalf("Exp1(%g) = %g, math.Exp = %g", x, got, want)
+		}
+	}
+}
+
+// TestExp4MatchesExp1 requires every batch lane to be bit-identical to the
+// scalar form — the property the engines' determinism rests on.
+func TestExp4MatchesExp1(t *testing.T) {
+	xs := []float64{
+		0, math.Copysign(0, -1), 1, -1, math.Inf(1), math.Inf(-1), math.NaN(),
+		709.78271289338397, 710, -744, -745.2, -746, -1000, -708.5, 708.5,
+	}
+	for x := -746.0; x <= 710; x += 0.13771 {
+		xs = append(xs, x)
+	}
+	for i := 0; i+3 < len(xs); i += 4 {
+		a, b, c, d := xs[i], xs[i+1], xs[i+2], xs[i+3]
+		ea, eb, ec, ed := Exp4(a, b, c, d)
+		for _, p := range [][2]float64{{a, ea}, {b, eb}, {c, ec}, {d, ed}} {
+			want := Exp1(p[0])
+			if math.Float64bits(p[1]) != math.Float64bits(want) &&
+				!(math.IsNaN(p[1]) && math.IsNaN(want)) {
+				t.Fatalf("Exp4(%g) = %x, Exp1 = %x", p[0],
+					math.Float64bits(p[1]), math.Float64bits(want))
+			}
+		}
+	}
+}
+
+// FuzzExpFastLanes fuzzes arbitrary arguments through all batch lanes,
+// asserting lane-vs-scalar bit-identity and ≤1 ulp accuracy vs math.Exp.
+func FuzzExpFastLanes(f *testing.F) {
+	for _, x := range []float64{0, -1, 1, -745.13, 709.78, -0.0001, 3.14, -708, 708.0001} {
+		f.Add(x)
+	}
+	f.Fuzz(func(t *testing.T, x float64) {
+		ea, eb, ec, ed := Exp4(x, x/2, -x, x*1.0001)
+		for i, p := range [][2]float64{{x, ea}, {x / 2, eb}, {-x, ec}, {x * 1.0001, ed}} {
+			want := Exp1(p[0])
+			if math.Float64bits(p[1]) != math.Float64bits(want) &&
+				!(math.IsNaN(p[1]) && math.IsNaN(want)) {
+				t.Fatalf("lane %d: Exp4(%g) = %x, Exp1 = %x", i, p[0],
+					math.Float64bits(p[1]), math.Float64bits(want))
+			}
+			if !math.IsNaN(p[0]) {
+				if d := ulpDiff(p[1], math.Exp(p[0])); d > 1 {
+					t.Fatalf("lane %d: Exp4(%g) is %d ulp from math.Exp", i, p[0], d)
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkMathExp4x(b *testing.B) {
+	var s float64
+	for i := 0; i < b.N; i++ {
+		x := -float64(i&1023) * 0.5
+		s += math.Exp(x) + math.Exp(x-1) + math.Exp(x-2) + math.Exp(x-3)
+	}
+	sinkF = s
+}
+
+func BenchmarkExp4(b *testing.B) {
+	var s float64
+	for i := 0; i < b.N; i++ {
+		x := -float64(i&1023) * 0.5
+		ea, eb, ec, ed := Exp4(x, x-1, x-2, x-3)
+		s += ea + eb + ec + ed
+	}
+	sinkF = s
+}
+
+var sinkF float64

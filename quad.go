@@ -54,6 +54,7 @@ import (
 	"github.com/quadkdv/quad/internal/geom"
 	"github.com/quadkdv/quad/internal/grid"
 	"github.com/quadkdv/quad/internal/kdtree"
+	"github.com/quadkdv/quad/internal/kdtree/flat"
 	"github.com/quadkdv/quad/internal/kernel"
 	"github.com/quadkdv/quad/internal/stats"
 	"github.com/quadkdv/quad/internal/zorder"
@@ -163,7 +164,30 @@ type config struct {
 	sharded    bool
 	shardIndex int
 	shardCount int
+	layout     EngineLayout
 }
+
+// EngineLayout selects the kd-tree memory layout the bound engine runs on.
+type EngineLayout int
+
+const (
+	// LayoutFlat (the default) runs the engine over a contiguous
+	// struct-of-arrays copy of the kd-tree: int32 node ids through parallel
+	// statistic arrays in BFS order, which keeps the refinement hot loop
+	// cache-resident. Renders are bit-identical to LayoutPointer.
+	LayoutFlat EngineLayout = iota
+	// LayoutPointer runs the engine over the original pointer-linked node
+	// tree. It is retained as the test oracle for the flat engine (the
+	// conformance suite renders both and requires bit-identical rasters)
+	// and as a fallback while the flat layout matures.
+	LayoutPointer
+)
+
+// WithEngineLayout selects the engine's tree memory layout (default
+// LayoutFlat). Both layouts produce bit-identical results for every method,
+// kernel, tile size, and shard configuration; LayoutPointer trades the flat
+// layout's speed for the simpler, directly-debuggable representation.
+func WithEngineLayout(l EngineLayout) Option { return func(c *config) { c.layout = l } }
 
 // WithKernel selects the kernel function (default Gaussian).
 func WithKernel(k Kernel) Option { return func(c *config) { c.kern = k } }
@@ -207,7 +231,11 @@ func WithWindowMargin(frac float64) Option { return func(c *config) { c.seedWind
 // across tile sizes: warm-started refinement can stop at a different
 // (still ε-certified) interval than root refinement, so only τKDV hot
 // masks are bit-identical for every tile size. For a fixed tile size,
-// renders are deterministic and independent of the worker count.
+// renders are deterministic and independent of the worker count — and of
+// the engine layout: the tile-shared traversal is one code path over the
+// Renderer interface, so the flat SoA engine and the pointer engine walk
+// identical tile, sub-tile, and per-pixel refinement sequences (the
+// conformance suite's flat-identity pass holds per tile size).
 func WithTileSize(n int) Option { return func(c *config) { c.tileSize = n } }
 
 // BandwidthRule selects the automatic bandwidth selector used when
@@ -251,6 +279,7 @@ type KDV struct {
 	weights      []float64 // per-point weights, nil = uniform
 	fullRect     geom.Rect // full-dataset bounds when sharded (WithShard)
 	tree         *kdtree.Tree
+	ftree        *flat.Tree // SoA copy of tree (LayoutFlat)
 	cfg          config
 	bw           stats.Bandwidth
 	proto        *bounds.Evaluator // nil for MethodExact / MethodZOrder
@@ -399,15 +428,38 @@ func newKDV(pts geom.Points, opts []Option) (*KDV, error) {
 		}
 		kdv.tree = tree
 		kdv.proto = ev
-		// Construct one engine eagerly so configuration errors surface here
+		if cfg.layout == LayoutFlat {
+			ftree, err := flat.FromTree(tree)
+			if err != nil {
+				return nil, err
+			}
+			kdv.ftree = ftree
+		}
+		// Construct one renderer eagerly so configuration errors surface here
 		// rather than on the first query.
-		eng, err := engine.New(tree, ev.Clone())
+		r, err := kdv.newRenderer()
 		if err != nil {
 			return nil, err
 		}
-		kdv.engines.Put(eng)
+		kdv.engines.Put(r)
 	}
 	return kdv, nil
+}
+
+// newRenderer constructs a render engine of the configured layout.
+func (k *KDV) newRenderer() (engine.Renderer, error) {
+	if k.cfg.layout == LayoutPointer {
+		eng, err := engine.New(k.tree, k.proto.Clone())
+		if err != nil {
+			return nil, err
+		}
+		return engine.PointerRenderer{TileEngine: engine.NewTileEngine(eng)}, nil
+	}
+	feng, err := engine.NewFlat(k.ftree, k.proto.Clone())
+	if err != nil {
+		return nil, err
+	}
+	return engine.FlatRenderer{FlatTileEngine: engine.NewFlatTileEngine(feng)}, nil
 }
 
 func toBoundsMethod(m Method) (bounds.Method, error) {

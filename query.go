@@ -11,28 +11,29 @@ import (
 	"github.com/quadkdv/quad/internal/oracle"
 )
 
-// acquireEngine hands out a per-goroutine engine (engines hold scratch
-// buffers and a reusable priority queue, so they cannot be shared).
-func (k *KDV) acquireEngine() (*engine.Engine, error) {
+// acquireEngine hands out a per-goroutine render engine of the configured
+// layout (engines hold scratch buffers and a reusable priority queue, so
+// they cannot be shared).
+func (k *KDV) acquireEngine() (engine.Renderer, error) {
 	if k.proto == nil {
 		return nil, fmt.Errorf("quad: method %s does not use the bound engine", k.cfg.method)
 	}
-	if e, ok := k.engines.Get().(*engine.Engine); ok {
-		return e, nil
+	if r, ok := k.engines.Get().(engine.Renderer); ok {
+		return r, nil
 	}
-	return engine.New(k.tree, k.proto.Clone())
+	return k.newRenderer()
 }
 
-func (k *KDV) releaseEngine(e *engine.Engine) { k.engines.Put(e) }
+func (k *KDV) releaseEngine(r engine.Renderer) { k.engines.Put(r) }
 
 // renderScratch is the pooled per-worker state of a tile render: the
-// worker's engine wrapped for tile-shared traversal, a reusable frontier,
-// and the query/rect buffers — everything the hot path would otherwise
-// allocate per tile.
+// worker's render engine, reusable frontiers of the engine's layout, and
+// the query/rect buffers — everything the hot path would otherwise allocate
+// per tile.
 type renderScratch struct {
-	te               *engine.TileEngine
-	frontier         engine.Frontier // tile-level frontier
-	sub              engine.Frontier // sub-tile frontier (second level)
+	r                engine.Renderer
+	frontier         engine.Front // tile-level frontier
+	sub              engine.Front // sub-tile frontier (second level)
 	q                []float64
 	rectMin, rectMax [2]float64
 }
@@ -50,22 +51,28 @@ func (s *renderScratch) tileRect(g *grid.Grid, t tileSpan) geom.Rect {
 // acquireRenderScratch hands out pooled tile-render scratch wired to a
 // pooled engine.
 func (k *KDV) acquireRenderScratch() (*renderScratch, error) {
-	eng, err := k.acquireEngine()
+	r, err := k.acquireEngine()
 	if err != nil {
 		return nil, err
 	}
 	s, _ := k.tileScratch.Get().(*renderScratch)
 	if s == nil {
-		s = &renderScratch{te: engine.NewTileEngine(nil), q: make([]float64, 2)}
+		s = &renderScratch{q: make([]float64, 2)}
 	}
-	s.te.Engine = eng
+	s.r = r
+	if s.frontier == nil {
+		// Frontiers are layout-specific; the layout is fixed per KDV, so the
+		// scratch's frontiers always match the pooled renderers.
+		s.frontier = r.NewFront()
+		s.sub = r.NewFront()
+	}
 	k.scratchLive.Add(1)
 	return s, nil
 }
 
 func (k *KDV) releaseRenderScratch(s *renderScratch) {
-	k.releaseEngine(s.te.Engine)
-	s.te.Engine = nil
+	k.releaseEngine(s.r)
+	s.r = nil
 	k.tileScratch.Put(s)
 	k.scratchLive.Add(-1)
 }
@@ -173,6 +180,6 @@ func (k *KDV) DensityBounds(q []float64) (lb, ub float64, err error) {
 		return 0, 0, err
 	}
 	defer k.releaseEngine(e)
-	lb, ub = e.Ev.Bounds(e.Tree.Root, q)
+	lb, ub = e.RootBounds(q)
 	return lb, ub, nil
 }

@@ -530,12 +530,12 @@ func (k *KDV) newTileRunner(ctx context.Context, g *grid.Grid, size int, pass re
 					var st engine.Stats
 					if pass.isTau {
 						var hot bool
-						hot, st = s.te.EvalTau(s.q, pass.tau)
+						hot, st = s.r.EvalTau(s.q, pass.tau)
 						if hot {
 							v = 1
 						}
 					} else {
-						v, st = s.te.EvalEps(s.q, pass.eps)
+						v, st = s.r.EvalEps(s.q, pass.eps)
 					}
 					vals[g.Index(x, y)] = v
 					local.addPixel(st)
@@ -550,7 +550,7 @@ func (k *KDV) newTileRunner(ctx context.Context, g *grid.Grid, size int, pass re
 	// runPixels evaluates a pixel span against one frontier. Serpentine
 	// pixel order keeps successive queries adjacent, which is what makes the
 	// frontier-promotion coherence signal meaningful.
-	runPixels := func(t tileSpan, f *engine.Frontier, vals []float64) {
+	runPixels := func(t tileSpan, f engine.Front, vals []float64) {
 		for y := t.y0; y < t.y1; y++ {
 			if ctx.Err() != nil {
 				return
@@ -565,19 +565,19 @@ func (k *KDV) newTileRunner(ctx context.Context, g *grid.Grid, size int, pass re
 				var st engine.Stats
 				if pass.isTau {
 					var hot bool
-					hot, st = s.te.EvalTauFrom(f, s.q, pass.tau)
+					hot, st = s.r.EvalTauFrom(f, s.q, pass.tau)
 					if hot {
 						v = 1
 					}
 				} else {
-					v, st = s.te.EvalEpsFrom(f, s.q, pass.eps)
+					v, st = s.r.EvalEpsFrom(f, s.q, pass.eps)
 				}
 				vals[g.Index(x, y)] = v
 				local.addPixel(st)
 				if pass.work != nil {
 					pass.work.record(g.Index(x, y), st)
 				}
-				local.addPromote(s.te.Promote(f))
+				local.addPromote(s.r.Promote(f))
 				if x == x1 {
 					break
 				}
@@ -597,7 +597,9 @@ func (k *KDV) newTileRunner(ctx context.Context, g *grid.Grid, size int, pass re
 	}
 	// rootPixels evaluates a pixel span with per-pixel root refinement — the
 	// fallback when a tile's shared frontier is measurably not worth seeding
-	// from.
+	// from. Like the warm-started path it runs through the Renderer
+	// interface, so the fallback decision and the refinement it triggers are
+	// identical under the flat and pointer engine layouts.
 	rootPixels := func(t tileSpan, vals []float64) {
 		for y := t.y0; y < t.y1; y++ {
 			if ctx.Err() != nil {
@@ -605,7 +607,7 @@ func (k *KDV) newTileRunner(ctx context.Context, g *grid.Grid, size int, pass re
 			}
 			for x := t.x0; x < t.x1; x++ {
 				g.Query(x, y, s.q)
-				v, st := s.te.EvalEps(s.q, pass.eps)
+				v, st := s.r.EvalEps(s.q, pass.eps)
 				vals[g.Index(x, y)] = v
 				local.addPixel(st)
 				if pass.work != nil {
@@ -619,20 +621,20 @@ func (k *KDV) newTileRunner(ctx context.Context, g *grid.Grid, size int, pass re
 		local.Tiles++
 		if pass.isTau {
 			t0 := sharedStart(timed)
-			local.addShared(s.te.BuildFrontierTau(rect, pass.tau, &s.frontier))
+			local.addShared(s.r.BuildFrontierTau(rect, pass.tau, s.frontier))
 			local.endShared(timed, t0)
-			if s.frontier.Decided {
+			if decided, hot := s.frontier.State(); decided {
 				local.TilesDecided++
-				fill(t, s.frontier.Hot, vals)
+				fill(t, hot, vals)
 				return
 			}
 		} else if size <= subTileSize {
 			t0 := sharedStart(timed)
-			local.addShared(s.te.BuildFrontierEps(rect, pass.eps, &s.frontier))
+			local.addShared(s.r.BuildFrontierEps(rect, pass.eps, s.frontier))
 			local.endShared(timed, t0)
 		} else {
 			t0 := sharedStart(timed)
-			outSt := s.te.BuildFrontierEpsCoarse(rect, pass.eps, &s.frontier)
+			outSt := s.r.BuildFrontierEpsCoarse(rect, pass.eps, s.frontier)
 			local.endShared(timed, t0)
 			local.addShared(outSt)
 			// Adaptive probe: build the first sub-frontier and evaluate the
@@ -653,12 +655,12 @@ func (k *KDV) newTileRunner(ctx context.Context, g *grid.Grid, size int, pass re
 			first := tileSpan{t.x0, t.y0, fx1, fy1}
 			srect := s.tileRect(g, first)
 			t0 = sharedStart(timed)
-			subSt := s.te.BuildFrontierEpsFrom(&s.frontier, srect, pass.eps, &s.sub)
+			subSt := s.r.BuildFrontierEpsFrom(s.frontier, srect, pass.eps, s.sub)
 			local.endShared(timed, t0)
 			local.addShared(subSt)
 			g.Query(t.x0, t.y0, s.q)
-			_, warmSt := s.te.EvalEpsFrom(&s.sub, s.q, pass.eps)
-			_, rootSt := s.te.EvalEps(s.q, pass.eps)
+			_, warmSt := s.r.EvalEpsFrom(s.sub, s.q, pass.eps)
+			_, rootSt := s.r.EvalEps(s.q, pass.eps)
 			local.addShared(rootSt) // probe overhead, not pixel work
 			px := (t.x1 - t.x0) * (t.y1 - t.y0)
 			nsub := ((t.x1 - t.x0 + subTileSize - 1) / subTileSize) *
@@ -668,7 +670,7 @@ func (k *KDV) newTileRunner(ctx context.Context, g *grid.Grid, size int, pass re
 				rootPixels(t, vals)
 				return
 			}
-			runPixels(first, &s.sub, vals)
+			runPixels(first, s.sub, vals)
 			for sy := t.y0; sy < t.y1; sy += subTileSize {
 				sy1 := sy + subTileSize
 				if sy1 > t.y1 {
@@ -685,15 +687,15 @@ func (k *KDV) newTileRunner(ctx context.Context, g *grid.Grid, size int, pass re
 					sub := tileSpan{sx, sy, sx1, sy1}
 					srect := s.tileRect(g, sub)
 					t0 := sharedStart(timed)
-					local.addShared(s.te.BuildFrontierEpsFrom(&s.frontier, srect, pass.eps, &s.sub))
+					local.addShared(s.r.BuildFrontierEpsFrom(s.frontier, srect, pass.eps, s.sub))
 					local.endShared(timed, t0)
-					runPixels(sub, &s.sub, vals)
+					runPixels(sub, s.sub, vals)
 				}
 			}
 			return
 		}
 		if size <= subTileSize {
-			runPixels(t, &s.frontier, vals)
+			runPixels(t, s.frontier, vals)
 			return
 		}
 		// Second level (τKDV): tighten the tile frontier against each
@@ -713,14 +715,14 @@ func (k *KDV) newTileRunner(ctx context.Context, g *grid.Grid, size int, pass re
 				sub := tileSpan{sx, sy, sx1, sy1}
 				srect := s.tileRect(g, sub)
 				t0 := sharedStart(timed)
-				local.addShared(s.te.BuildFrontierTauFrom(&s.frontier, srect, pass.tau, &s.sub))
+				local.addShared(s.r.BuildFrontierTauFrom(s.frontier, srect, pass.tau, s.sub))
 				local.endShared(timed, t0)
-				if s.sub.Decided {
+				if decided, hot := s.sub.State(); decided {
 					local.TilesDecided++
-					fill(sub, s.sub.Hot, vals)
+					fill(sub, hot, vals)
 					continue
 				}
-				runPixels(sub, &s.sub, vals)
+				runPixels(sub, s.sub, vals)
 			}
 		}
 	}
@@ -734,12 +736,12 @@ func (k *KDV) newTileRunner(ctx context.Context, g *grid.Grid, size int, pass re
 // later pixel in that tile seeds from it. Paired with Order.GroupByTile so
 // deep levels visit each tile's pixels in bursts.
 type progWarm struct {
-	te               *engine.TileEngine
+	r                engine.Renderer
 	g                *grid.Grid
 	size, tilesX     int
 	eps              float64
 	touched          []bool
-	fronts           []*engine.Frontier
+	fronts           []engine.Front
 	rectMin, rectMax [2]float64
 	// stats, when non-nil, accumulates the per-pixel and shared work
 	// counters. Progressive evaluation is single-threaded, so plain field
@@ -747,21 +749,21 @@ type progWarm struct {
 	stats *RenderStats
 }
 
-func (k *KDV) newProgWarm(g *grid.Grid, eng *engine.Engine, eps float64, st *RenderStats) *progWarm {
+func (k *KDV) newProgWarm(g *grid.Grid, r engine.Renderer, eps float64, st *RenderStats) *progWarm {
 	size := k.tileSize()
-	if eng == nil || size < 2 {
+	if r == nil || size < 2 {
 		return nil
 	}
 	tilesX := (g.Res.W + size - 1) / size
 	tilesY := (g.Res.H + size - 1) / size
 	return &progWarm{
-		te:      engine.NewTileEngine(eng),
+		r:       r,
 		g:       g,
 		size:    size,
 		tilesX:  tilesX,
 		eps:     eps,
 		touched: make([]bool, tilesX*tilesY),
-		fronts:  make([]*engine.Frontier, tilesX*tilesY),
+		fronts:  make([]engine.Front, tilesX*tilesY),
 		stats:   st,
 	}
 }
@@ -769,7 +771,7 @@ func (k *KDV) newProgWarm(g *grid.Grid, eng *engine.Engine, eps float64, st *Ren
 func (w *progWarm) eval(px, py int, q []float64) float64 {
 	ti := (py/w.size)*w.tilesX + px/w.size
 	if f := w.fronts[ti]; f != nil {
-		v, st := w.te.EvalEpsFrom(f, q, w.eps)
+		v, st := w.r.EvalEpsFrom(f, q, w.eps)
 		if w.stats != nil {
 			w.stats.addPixel(st)
 		}
@@ -777,7 +779,7 @@ func (w *progWarm) eval(px, py int, q []float64) float64 {
 	}
 	if !w.touched[ti] {
 		w.touched[ti] = true
-		v, st := w.te.EvalEps(q, w.eps)
+		v, st := w.r.EvalEps(q, w.eps)
 		if w.stats != nil {
 			w.stats.addPixel(st)
 		}
@@ -794,10 +796,10 @@ func (w *progWarm) eval(px, py int, q []float64) float64 {
 	rect := geom.Rect{Min: w.rectMin[:], Max: w.rectMax[:]}
 	w.g.Query(x0, y0, rect.Min)
 	w.g.Query(x1-1, y1-1, rect.Max)
-	f := new(engine.Frontier)
-	buildSt := w.te.BuildFrontierEps(rect, w.eps, f)
+	f := w.r.NewFront()
+	buildSt := w.r.BuildFrontierEps(rect, w.eps, f)
 	w.fronts[ti] = f
-	v, st := w.te.EvalEpsFrom(f, q, w.eps)
+	v, st := w.r.EvalEpsFrom(f, q, w.eps)
 	if w.stats != nil {
 		w.stats.Tiles++
 		w.stats.addShared(buildSt)
@@ -809,7 +811,7 @@ func (w *progWarm) eval(px, py int, q []float64) float64 {
 // evalCtx carries the per-worker evaluation state: the worker's private
 // engine for bound-based methods, nil for scan-based methods.
 type evalCtx struct {
-	eng *engine.Engine
+	eng engine.Renderer
 }
 
 func (k *KDV) newEvalCtx() (*evalCtx, error) {

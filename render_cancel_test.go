@@ -15,16 +15,18 @@ import (
 // a large crime analogue, with tiles so large that the raster decomposes
 // into exactly one tile per worker — between-tile polling alone could then
 // only observe cancellation after a worker finishes its whole tile.
-func slowTiledKDV(t *testing.T, n, tile, workers int) *KDV {
+func slowTiledKDV(t *testing.T, n, tile, workers int, opts ...Option) *KDV {
 	t.Helper()
 	pts, err := dataset.Generate("crime", n, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	k, err := New(pts.Coords, pts.Dim,
-		WithMethod(MethodMinMax),
-		WithTileSize(tile),
-		WithWorkers(workers))
+		append([]Option{
+			WithMethod(MethodMinMax),
+			WithTileSize(tile),
+			WithWorkers(workers),
+		}, opts...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,4 +134,59 @@ func TestRenderTauCancelMidTileNoLeak(t *testing.T) {
 		t.Errorf("after cancelled render: %d render scratches still checked out", live)
 	}
 	waitGoroutines(t, base)
+}
+
+// TestRenderCancelMidTileBothLayouts re-runs the mid-tile cancellation
+// guarantee against each engine layout explicitly: the flat engine's batched
+// refinement loops must reach the same between-(sub-)tile poll points the
+// pointer engine does, and both must return every pooled scratch. (The
+// unsuffixed tests above already cover the default layout; this pins the
+// contract to the option so a future layout cannot silently drop polling.)
+func TestRenderCancelMidTileBothLayouts(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		layout EngineLayout
+	}{
+		{"flat", LayoutFlat},
+		{"pointer", LayoutPointer},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			k := slowTiledKDV(t, 20000, 64, 4, WithEngineLayout(tc.layout))
+			res := Resolution{W: 128, H: 128}
+			const eps = 0.001
+
+			start := time.Now()
+			if _, err := k.RenderEps(res, eps); err != nil {
+				t.Fatal(err)
+			}
+			full := time.Since(start)
+			if live := k.scratchLive.Load(); live != 0 {
+				t.Fatalf("after full render: %d render scratches still checked out", live)
+			}
+			if full < 30*time.Millisecond {
+				t.Skipf("full render too fast to measure mid-tile cancellation (%s)", full)
+			}
+
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() {
+				time.Sleep(full / 20)
+				cancel()
+			}()
+			start = time.Now()
+			dm, err := k.RenderEpsCtx(ctx, res, eps)
+			elapsed := time.Since(start)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if dm != nil {
+				t.Error("cancelled render returned a map")
+			}
+			if elapsed > full/2 {
+				t.Errorf("cancelled render took %s of a %s render — tile interior did not poll ctx", elapsed, full)
+			}
+			if live := k.scratchLive.Load(); live != 0 {
+				t.Errorf("after cancelled render: %d render scratches still checked out", live)
+			}
+		})
+	}
 }
