@@ -51,9 +51,12 @@ func loadReport(path string) (*jsonReport, error) {
 // compareReports diffs two -json reports cell by cell and checks the new
 // report's overhead numbers against their absolute budgets. A positive
 // minSpeedup additionally requires the new report to beat the old one by
-// that factor on speedupGateCell. It prints a verdict line per check to
-// out and returns the number of regressions.
-func compareReports(out io.Writer, oldRep, newRep *jsonReport, minSpeedup float64) int {
+// that factor on speedupGateCell; a positive minTileSpeedup requires the
+// new report's warm-disk tile serving to beat its own cold build by that
+// factor (a within-report gate — the baseline predates the tile store).
+// It prints a verdict line per check to out and returns the number of
+// regressions.
+func compareReports(out io.Writer, oldRep, newRep *jsonReport, minSpeedup, minTileSpeedup float64) int {
 	index := func(rep *jsonReport) map[cellKey]jsonCell {
 		m := make(map[cellKey]jsonCell, len(rep.Cells))
 		for _, c := range rep.Cells {
@@ -150,6 +153,26 @@ func compareReports(out io.Writer, oldRep, newRep *jsonReport, minSpeedup float6
 		}
 	}
 
+	if minTileSpeedup > 0 {
+		ts := newRep.TileServing
+		switch {
+		case ts == nil:
+			fail("tile speedup gate: new report has no tile_serving section")
+		case ts.ColdBuildMS <= 0 || ts.WarmDiskMS <= 0:
+			fail("tile speedup gate: non-positive timings (cold %.3g ms, disk %.3g ms)",
+				ts.ColdBuildMS, ts.WarmDiskMS)
+		default:
+			speedup := ts.ColdBuildMS / ts.WarmDiskMS
+			if speedup < minTileSpeedup {
+				fail("tile speedup gate   cold %10.1fms vs disk %-10.1fms %.1fx, below the %.1fx floor",
+					ts.ColdBuildMS, ts.WarmDiskMS, speedup, minTileSpeedup)
+			} else {
+				fmt.Fprintf(out, "ok   tile speedup gate   cold %10.1fms vs disk %-10.1fms %.1fx (floor %.1fx)\n",
+					ts.ColdBuildMS, ts.WarmDiskMS, speedup, minTileSpeedup)
+			}
+		}
+	}
+
 	if o := newRep.TelemetryOverhead; o != nil {
 		if o.DeltaPct > overheadBudgetPct {
 			fail("telemetry overhead %+.2f%% exceeds the %.0f%% budget", o.DeltaPct, overheadBudgetPct)
@@ -169,7 +192,7 @@ func compareReports(out io.Writer, oldRep, newRep *jsonReport, minSpeedup float6
 
 // runCompare is the bench-regression gate: kdvbench -compare old.json
 // new.json. Exit status 1 means at least one regression.
-func runCompare(oldPath, newPath string, minSpeedup float64) error {
+func runCompare(oldPath, newPath string, minSpeedup, minTileSpeedup float64) error {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
 		return err
@@ -178,7 +201,7 @@ func runCompare(oldPath, newPath string, minSpeedup float64) error {
 	if err != nil {
 		return err
 	}
-	if n := compareReports(os.Stdout, oldRep, newRep, minSpeedup); n > 0 {
+	if n := compareReports(os.Stdout, oldRep, newRep, minSpeedup, minTileSpeedup); n > 0 {
 		return fmt.Errorf("%d regression(s) against %s", n, oldPath)
 	}
 	fmt.Printf("no regressions against %s\n", oldPath)

@@ -25,7 +25,7 @@ func TestCompareAcceptsEquivalentRun(t *testing.T) {
 	newRep.Cells[0].NsPerPixel *= 1.20    // inside the 25% timing tolerance
 	newRep.Cells[0].NodesPerPixel *= 1.04 // inside the 5% work tolerance
 	var out strings.Builder
-	if n := compareReports(&out, oldRep, newRep, 0); n != 0 {
+	if n := compareReports(&out, oldRep, newRep, 0, 0); n != 0 {
 		t.Fatalf("equivalent run flagged %d regression(s):\n%s", n, out.String())
 	}
 }
@@ -51,7 +51,7 @@ func TestComparePlantedRegressions(t *testing.T) {
 			newRep := baselineReport()
 			tc.plant(newRep)
 			var out strings.Builder
-			n := compareReports(&out, baselineReport(), newRep, 0)
+			n := compareReports(&out, baselineReport(), newRep, 0, 0)
 			if n == 0 {
 				t.Fatalf("planted %s regression not caught:\n%s", tc.name, out.String())
 			}
@@ -78,10 +78,10 @@ func TestCompareEndToEnd(t *testing.T) {
 	newRep := baselineReport()
 	newRep.Cells[2].NodesPerPixel *= 2 // planted regression
 	newPath := writeReport("new.json", newRep)
-	if err := runCompare(oldPath, oldPath, 0); err != nil {
+	if err := runCompare(oldPath, oldPath, 0, 0); err != nil {
 		t.Fatalf("self-compare: %v", err)
 	}
-	if err := runCompare(oldPath, newPath, 0); err == nil {
+	if err := runCompare(oldPath, newPath, 0, 0); err == nil {
 		t.Fatal("planted regression: runCompare returned nil")
 	}
 }
@@ -95,6 +95,42 @@ func gateReport(elapsedMS float64) *jsonReport {
 		ElapsedMS: elapsedMS, NsPerPixel: elapsedMS * 1e6 / (512 * 512), NodesPerPixel: 50,
 	})
 	return rep
+}
+
+// TestCompareTileSpeedupGate covers the -mintilespeedup assertion, a
+// within-new-report gate: warm-disk tile serving must beat the cold build
+// by the floor; a missing tile_serving section fails (the claim cannot be
+// checked); zero leaves the gate off.
+func TestCompareTileSpeedupGate(t *testing.T) {
+	withTiles := func(coldMS, diskMS float64) *jsonReport {
+		rep := baselineReport()
+		rep.TileServing = &tileServing{ColdBuildMS: coldMS, WarmDiskMS: diskMS}
+		return rep
+	}
+	cases := []struct {
+		name     string
+		newRep   *jsonReport
+		floor    float64
+		wantFail bool
+	}{
+		{"floor cleared", withTiles(500, 10), 10, false},
+		{"floor missed", withTiles(500, 100), 10, true},
+		{"section missing", baselineReport(), 10, true},
+		{"zero timings", withTiles(0, 0), 10, true},
+		{"gate disabled", baselineReport(), 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out strings.Builder
+			n := compareReports(&out, baselineReport(), tc.newRep, 0, tc.floor)
+			if got := n > 0; got != tc.wantFail {
+				t.Fatalf("regressions = %d, want failure %v:\n%s", n, tc.wantFail, out.String())
+			}
+			if tc.wantFail && !strings.Contains(out.String(), "tile speedup gate") {
+				t.Fatalf("verdicts missing the tile-speedup-gate line:\n%s", out.String())
+			}
+		})
+	}
 }
 
 // TestCompareSpeedupGate covers the -minspeedup assertion: a cleared
@@ -116,7 +152,7 @@ func TestCompareSpeedupGate(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var out strings.Builder
-			n := compareReports(&out, gateReport(tc.oldMS), tc.newRep, tc.minSpeedup)
+			n := compareReports(&out, gateReport(tc.oldMS), tc.newRep, tc.minSpeedup, 0)
 			if got := n > 0; got != tc.wantFail {
 				t.Fatalf("regressions = %d, want failure %v:\n%s", n, tc.wantFail, out.String())
 			}

@@ -55,6 +55,10 @@ type jsonReport struct {
 	// trace-carrying context. The disabled delta is the PR5 acceptance
 	// number (must stay ≤ 2%): tracing must cost nothing when off.
 	TracingOverhead *tracingOverhead `json:"tracing_overhead,omitempty"`
+	// TileServing measures the /tiles serving tiers — cold engine build vs
+	// warm-disk vs warm-memory on 512² tiles. The PR9 acceptance number is
+	// DiskSpeedup (gated by -mintilespeedup).
+	TileServing *tileServing `json:"tile_serving,omitempty"`
 }
 
 // telemetryOverhead compares the plain render entry point (nil stats
@@ -328,6 +332,13 @@ func runJSONBench(path string, seed int64, n int) error {
 	rep.TracingOverhead = tro
 	fmt.Printf("tracing overhead @ %s: stats %.1f ms, off %.1f ms (%+.2f%%), traced %.1f ms (%+.2f%%)\n",
 		tro.Res, tro.StatsMS, tro.OffMS, tro.OffDeltaPct, tro.TracedMS, tro.TracedDeltaPct)
+	ts, err := measureTileServing(pts, workers, eps)
+	if err != nil {
+		return err
+	}
+	rep.TileServing = ts
+	fmt.Printf("tile serving @ %d×%d²: cold %.1f ms, disk %.1f ms (%.0fx), memory %.1f ms (%.0fx)\n",
+		ts.Tiles, ts.TileSize, ts.ColdBuildMS, ts.WarmDiskMS, ts.DiskSpeedup, ts.WarmMemoryMS, ts.MemorySpeedup)
 
 	if err := writeJSON(path, &rep); err != nil {
 		return err

@@ -31,19 +31,20 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		list       = flag.Bool("list", false, "list available experiments")
-		full       = flag.Bool("full", false, "paper-scale configuration (slow)")
-		outDir     = flag.String("out", "", "directory for PNG artifacts")
-		seed       = flag.Int64("seed", 20200614, "dataset generator seed")
-		timeout    = flag.Duration("timeout", 0, "per-cell timeout (0 = config default)")
-		res        = flag.String("res", "", "override grid resolution, e.g. 320x240")
-		sizes      = flag.String("sizes", "", "override dataset sizes, e.g. crime=100000,hep=500000")
-		jsonPath   = flag.String("json", "", "measure tile-shared vs per-pixel rendering and write a JSON report to this path")
-		jsonN      = flag.Int("jsonn", 100000, "dataset cardinality for the -json benchmark")
-		compare    = flag.String("compare", "", "regression gate: diff this baseline -json report against the report named by the positional argument; exits 1 on regression")
-		minSpeedup = flag.Float64("minspeedup", 0, "with -compare: require old/new elapsed_ms on the eps/512x512/tile cell to be at least this factor (0 disables)")
-		pprof      = flag.String("pprof-addr", "", "side listener for net/http/pprof and expvar (empty disables)")
+		exp            = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list           = flag.Bool("list", false, "list available experiments")
+		full           = flag.Bool("full", false, "paper-scale configuration (slow)")
+		outDir         = flag.String("out", "", "directory for PNG artifacts")
+		seed           = flag.Int64("seed", 20200614, "dataset generator seed")
+		timeout        = flag.Duration("timeout", 0, "per-cell timeout (0 = config default)")
+		res            = flag.String("res", "", "override grid resolution, e.g. 320x240")
+		sizes          = flag.String("sizes", "", "override dataset sizes, e.g. crime=100000,hep=500000")
+		jsonPath       = flag.String("json", "", "measure tile-shared vs per-pixel rendering and write a JSON report to this path")
+		jsonN          = flag.Int("jsonn", 100000, "dataset cardinality for the -json benchmark")
+		compare        = flag.String("compare", "", "regression gate: diff this baseline -json report against the report named by the positional argument; exits 1 on regression")
+		minSpeedup     = flag.Float64("minspeedup", 0, "with -compare: require old/new elapsed_ms on the eps/512x512/tile cell to be at least this factor (0 disables)")
+		minTileSpeedup = flag.Float64("mintilespeedup", 0, "with -compare: require the new report's warm-disk tile serving to beat its cold build by this factor (0 disables)")
+		pprof          = flag.String("pprof-addr", "", "side listener for net/http/pprof and expvar (empty disables)")
 	)
 	flag.Parse()
 
@@ -52,7 +53,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "kdvbench: -compare old.json new.json (exactly one positional argument)")
 			os.Exit(2)
 		}
-		if err := runCompare(*compare, flag.Arg(0), *minSpeedup); err != nil {
+		if err := runCompare(*compare, flag.Arg(0), *minSpeedup, *minTileSpeedup); err != nil {
 			fatal(err)
 		}
 		return

@@ -72,6 +72,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		SkipMetamorphic: *quick,
 		SkipSharding:    *quick,
 		FlatQuick:       *quick,
+		TileQuick:       *quick,
 	}
 	var err error
 	if cfg.Res, err = parseRes(*res); err != nil {

@@ -45,6 +45,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -72,6 +73,9 @@ func run() int {
 		slowQuery       = flag.Duration("slow-query", 0, "log any request at least this slow as a JSON line on stderr (0 disables)")
 		traceLog        = flag.String("trace-log", "", "trace every request and append its spans as JSON lines to this file ('-' for stderr; empty traces only requests carrying a traceparent)")
 		enableWorkMap   = flag.Bool("enable-workmap", false, "serve GET /debug/workmap (per-pixel work-map PNGs; off by default, renders are full-price)")
+		tilesDir        = flag.String("tiles-dir", "", "directory for the persistent XYZ tile store (empty keeps /tiles memory-only)")
+		tileSize        = flag.Int("tile-size", 256, "tile edge in pixels for /tiles (power of two in [64, 1024])")
+		warmZooms       = flag.String("warm-zooms", "", "comma-separated zoom levels of the default tile pyramid to precompute at boot (e.g. 0,1,2; empty disables)")
 
 		workerMode      = flag.Bool("worker", false, "run as a shard-render worker (internal API only) instead of the public server")
 		workers         = flag.String("workers", "", "comma-separated worker addresses (host:port); makes /render a sharded fan-out coordinator")
@@ -100,6 +104,18 @@ func run() int {
 		DegradeBudget:  *degradeBudget,
 		SlowQuery:      *slowQuery,
 		EnableWorkMap:  *enableWorkMap,
+		TilesDir:       *tilesDir,
+		TileSize:       *tileSize,
+	}
+	if *warmZooms != "" {
+		for _, part := range strings.Split(*warmZooms, ",") {
+			z, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || z < 0 {
+				log.Printf("kdvserve: bad -warm-zooms entry %q", part)
+				return 2
+			}
+			cfg.WarmZooms = append(cfg.WarmZooms, z)
+		}
 	}
 	switch *traceLog {
 	case "":
@@ -134,6 +150,7 @@ func run() int {
 			len(coord.Workers()), coord.Shards(), *shardReplicas, *shardAttempts)
 	}
 	s := serve.NewServerWith(cfg)
+	defer s.Close()
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),

@@ -71,6 +71,11 @@ type Config struct {
 	// always runs — engine-layout identity is the cheapest early signal the
 	// suite has.
 	FlatQuick bool
+	// SkipTiles drops the tile-pyramid stitch pass entirely; TileQuick cuts
+	// it to the first kernel × MethodQuadratic (both zooms still run). The
+	// quick subset is what `kdvcheck -quick` gates on.
+	SkipTiles bool
+	TileQuick bool
 }
 
 func (c *Config) setDefaults() error {
@@ -176,6 +181,11 @@ func Run(cfg Config) (*Report, error) {
 	}
 	if err := runFlat(&cfg, rep); err != nil {
 		return nil, err
+	}
+	if !cfg.SkipTiles {
+		if err := runTiles(&cfg, rep); err != nil {
+			return nil, err
+		}
 	}
 	if !cfg.SkipBounds {
 		if err := runDominance(&cfg, rep); err != nil {

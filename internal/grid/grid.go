@@ -28,11 +28,18 @@ func (r Resolution) String() string { return fmt.Sprintf("%dx%d", r.W, r.H) }
 func (r Resolution) Pixels() int { return r.W * r.H }
 
 // Grid maps pixel coordinates to data-space query points over a window.
+//
+// A Grid may be a sub-view of a larger conceptual raster (see Sub): offX and
+// offY shift every pixel coordinate before the window mapping, so a view's
+// pixel (0,0) is the parent's pixel (offX, offY). A directly constructed
+// Grid has zero offsets.
 type Grid struct {
 	Res    Resolution
-	Window geom.Rect // 2-d data-space window covered by the raster
+	Window geom.Rect // 2-d data-space window covered by the FULL raster
 	stepX  float64
 	stepY  float64
+	offX   int
+	offY   int
 }
 
 // New creates a grid over the given window. The window must be
@@ -77,12 +84,41 @@ func ForDataset(res Resolution, pts geom.Points, marginFrac float64) (*Grid, err
 	return New(res, r)
 }
 
+// Sub returns a view of g covering the w×h pixel block whose lower-left
+// pixel is (x0, y0) of g's raster. The view shares g's window and steps, so
+// the view's pixel (px, py) queries the BIT-IDENTICAL data-space coordinate
+// of g's pixel (x0+px, y0+py) — the property the tile pyramid's
+// stitched-mosaic conformance check relies on. The block must lie inside
+// g's raster.
+func (g *Grid) Sub(x0, y0, w, h int) (*Grid, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("grid: non-positive sub-view %dx%d", w, h)
+	}
+	if x0 < 0 || y0 < 0 || x0+w > g.Res.W || y0+h > g.Res.H {
+		return nil, fmt.Errorf("grid: sub-view [%d,%d)+%dx%d outside raster %s", x0, y0, w, h, g.Res)
+	}
+	sub := *g
+	sub.Res = Resolution{W: w, H: h}
+	sub.offX = g.offX + x0
+	sub.offY = g.offY + y0
+	return &sub, nil
+}
+
 // Query writes the data-space coordinate of pixel (px, py)'s center into dst
-// and returns it. Pixel (0,0) is the lower-left corner of the window.
+// and returns it. Pixel (0,0) is the lower-left corner of the window (of the
+// view, for sub-grids).
 func (g *Grid) Query(px, py int, dst []float64) []float64 {
-	dst[0] = g.Window.Min[0] + (float64(px)+0.5)*g.stepX
-	dst[1] = g.Window.Min[1] + (float64(py)+0.5)*g.stepY
+	dst[0] = g.Window.Min[0] + (float64(px+g.offX)+0.5)*g.stepX
+	dst[1] = g.Window.Min[1] + (float64(py+g.offY)+0.5)*g.stepY
 	return dst
+}
+
+// PixelEdge returns the data-space coordinate of the lower-left corner of
+// pixel (px, py) — the tile-bbox form of the pixel mapping (pixel centers
+// sit half a step further). Offsets apply like Query's.
+func (g *Grid) PixelEdge(px, py int) (x, y float64) {
+	return g.Window.Min[0] + float64(px+g.offX)*g.stepX,
+		g.Window.Min[1] + float64(py+g.offY)*g.stepY
 }
 
 // Index linearizes a pixel coordinate (row-major, y-major).

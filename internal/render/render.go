@@ -67,9 +67,20 @@ func HeatColor(t float64) color.RGBA {
 
 // Heatmap renders a density raster as a heat-ramp image. The raster's pixel
 // (0,0) is the window's lower-left corner, so rows are flipped into image
-// space (top-left origin).
+// space (top-left origin). Normalization is the raster's own min/max; use
+// HeatmapFixed when several rasters must share one color scale.
 func Heatmap(v *grid.Values, scale Scale) *image.RGBA {
 	lo, hi := v.MinMax()
+	return HeatmapFixed(v, lo, hi, scale)
+}
+
+// HeatmapFixed renders a density raster with a fixed normalization [lo, hi]
+// instead of the raster's own extremes. Adjacent rasters of one logical
+// image — the tiles of an XYZ pyramid — must be colored against the same
+// scale or they disagree at their seams; a shared [lo, hi] also makes a
+// tile's PNG bytes identical to the same crop of a full render encoded with
+// that scale. Values outside [lo, hi] clamp to the ramp's ends.
+func HeatmapFixed(v *grid.Values, lo, hi float64, scale Scale) *image.RGBA {
 	img := image.NewRGBA(image.Rect(0, 0, v.Res.W, v.Res.H))
 	denom := hi - lo
 	if denom <= 0 {

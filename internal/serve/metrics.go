@@ -3,6 +3,7 @@ package serve
 import (
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	quad "github.com/quadkdv/quad"
@@ -13,7 +14,7 @@ import (
 // series is pre-registered at server construction so the request path only
 // touches atomics (and so scrapes show zero-valued series instead of
 // absent ones).
-var endpoints = []string{"render", "hotspots", "progressive", "workmap", "info", "healthz", "readyz", "metrics", "other"}
+var endpoints = []string{"render", "tiles", "hotspots", "progressive", "workmap", "info", "healthz", "readyz", "metrics", "other"}
 
 // codeClasses bucket response statuses; per-exact-code series would blow up
 // cardinality without telling an operator more than the class does.
@@ -82,7 +83,7 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 			telemetry.DurationBuckets, telemetry.L("endpoint", ep))
 	}
 	m.inFlight = reg.Gauge("kdv_http_in_flight", "HTTP requests currently being handled.")
-	for _, ep := range []string{"render", "hotspots", "progressive", "workmap"} {
+	for _, ep := range []string{"render", "tiles", "hotspots", "progressive", "workmap"} {
 		byOutcome := make(map[string]*telemetry.Counter, len(renderOutcomes))
 		for _, oc := range renderOutcomes {
 			byOutcome[oc] = reg.Counter("kdv_render_requests_total",
@@ -177,6 +178,9 @@ func endpointLabel(path string) string {
 		return "readyz"
 	case "/metrics":
 		return "metrics"
+	}
+	if strings.HasPrefix(path, "/tiles/") {
+		return "tiles"
 	}
 	return "other"
 }

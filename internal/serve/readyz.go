@@ -19,10 +19,14 @@ const (
 )
 
 // Warmup builds and caches the default dataset's KDV so the first real
-// /render hits a warm cache. It is idempotent and races safely with the
-// lazy warmup that /readyz probes trigger: whoever wins the CAS does the
-// build, everyone else returns immediately (nil if warmup is already
-// underway or done).
+// /render hits a warm cache, then — when Config.WarmZooms is set —
+// precomputes those zoom levels of the default tile pyramid so the hot
+// low-zoom tiles serve from cache from the first request. It is idempotent
+// and races safely with the lazy warmup that /readyz probes trigger:
+// whoever wins the CAS does the build, everyone else returns immediately
+// (nil if warmup is already underway or done). A tile-warm failure fails
+// the warmup like a build failure: the machine returns to idle and the
+// next probe retries under the same jittered backoff.
 func (s *Server) Warmup(ctx context.Context) error {
 	if !s.warmState.CompareAndSwap(warmIdle, warmRunning) {
 		return nil
@@ -30,6 +34,9 @@ func (s *Server) Warmup(ctx context.Context) error {
 	kern, _ := quad.ParseKernel("gaussian")
 	method, _ := quad.ParseMethod("quad")
 	_, err := s.kdvFor(ctx, s.cfg.WarmDataset, s.DefaultN, 1, kern, method, 0.01)
+	if err == nil {
+		err = s.warmTiles(ctx)
+	}
 	if err != nil {
 		s.noteWarmupFailure()
 		s.warmState.Store(warmIdle)

@@ -37,6 +37,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"os"
 	"runtime"
 	"strconv"
@@ -51,6 +52,7 @@ import (
 	"github.com/quadkdv/quad/internal/grid"
 	"github.com/quadkdv/quad/internal/render"
 	"github.com/quadkdv/quad/internal/telemetry"
+	"github.com/quadkdv/quad/internal/tiles"
 	"github.com/quadkdv/quad/internal/trace"
 )
 
@@ -109,6 +111,20 @@ type Config struct {
 	// a private registry — so a coordinator's cluster metrics and the
 	// serving metrics share one /metrics scrape.
 	Registry *telemetry.Registry
+	// TilesDir, when set, backs the XYZ tile endpoint with the persistent
+	// append-only tile store rooted there, so tiles survive restarts.
+	// Empty keeps the tile endpoint memory-only.
+	TilesDir string
+	// TileSize is the tile edge in pixels for /tiles responses — a power of
+	// two in [64, 1024] (default 256). It participates in the tileset key,
+	// so changing it addresses a fresh pyramid.
+	TileSize int
+	// TileMemoryBytes bounds the in-memory tile cache (default 64 MiB).
+	TileMemoryBytes int64
+	// WarmZooms lists the zoom levels of the default pyramid that Warmup
+	// precomputes (e.g. [0, 1, 2] renders 1+4+16 tiles). Empty skips tile
+	// warmup.
+	WarmZooms []int
 	// Cluster, when set, turns this server into a fan-out coordinator:
 	// /render requests with a shardable method (anything but zorder) are
 	// partitioned by data shard across the coordinator's workers and the
@@ -140,6 +156,12 @@ func (c Config) withDefaults() Config {
 	if c.WarmDataset == "" {
 		c.WarmDataset = "crime"
 	}
+	if c.TileSize <= 0 {
+		c.TileSize = 256
+	}
+	if c.TileMemoryBytes <= 0 {
+		c.TileMemoryBytes = 64 << 20
+	}
 	if c.SlowQueryLog == nil {
 		c.SlowQueryLog = os.Stderr
 	}
@@ -157,6 +179,15 @@ type Server struct {
 	cfg   Config
 	cache *kdvCache
 	adm   *admission
+
+	// Tile subsystem: shared store/memory cache plus the per-tileset
+	// pyramid registry (singleflight construction, FIFO bounded).
+	tileStore *tiles.Store // nil when TilesDir is unset
+	tileLRU   *tiles.LRU
+	tileM     *tiles.Metrics
+	pyrMu     sync.Mutex
+	pyramids  map[string]*pyramidCall
+	pyrOrder  []string
 
 	reg       *telemetry.Registry
 	m         *metrics
@@ -196,10 +227,25 @@ func NewServerWith(cfg Config) *Server {
 		reg:      reg,
 		m:        newMetrics(reg),
 		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+		pyramids: make(map[string]*pyramidCall),
 	}
 	s.cache.instrument(s.m)
 	s.adm.instrument(s.m)
+	s.tileM = tiles.NewMetrics(reg)
+	s.tileLRU = tiles.NewLRU(cfg.TileMemoryBytes, s.tileM)
+	if cfg.TilesDir != "" {
+		s.tileStore = tiles.OpenStore(cfg.TilesDir, s.tileM)
+	}
 	return s
+}
+
+// Close releases the server's persistent resources (the tile store's open
+// log files). The server stays usable — logs reopen on the next access.
+func (s *Server) Close() error {
+	if s.tileStore != nil {
+		return s.tileStore.Close()
+	}
+	return nil
 }
 
 // Registry exposes the server's metric registry so a debug side listener
@@ -236,6 +282,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.Handle("GET /render", s.guard(s.handleRender))
+	mux.Handle("GET /tiles/{dataset}/{z}/{x}/{y}", s.guard(s.handleTile))
 	mux.Handle("GET /hotspots", s.guard(s.handleHotspots))
 	mux.Handle("GET /progressive", s.guard(s.handleProgressive))
 	mux.Handle("GET /debug/workmap", s.guard(s.handleWorkMap))
@@ -249,7 +296,12 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 			"epanechnikov", "quartic", "uniform"},
 		"methods":   []string{"quad", "karl", "minmax", "exact", "zorder"},
 		"default_n": s.DefaultN,
-		"endpoints": []string{"/render", "/hotspots", "/progressive", "/healthz", "/readyz", "/metrics"},
+		"endpoints": []string{"/render", "/tiles/{dataset}/{z}/{x}/{y}.png", "/hotspots", "/progressive", "/healthz", "/readyz", "/metrics"},
+		"tiles": map[string]any{
+			"tile_size":  s.cfg.TileSize,
+			"persistent": s.tileStore != nil,
+			"max_zoom":   tiles.MaxZoom,
+		},
 		"limits": map[string]any{
 			"max_concurrent":  s.cfg.MaxConcurrent,
 			"max_queue":       s.cfg.MaxQueue,
@@ -327,6 +379,13 @@ func (s *Server) parseParams(r *http.Request) (*renderParams, error) {
 	if name == "" {
 		return nil, fmt.Errorf("dataset parameter is required (one of %v)", dataset.Names())
 	}
+	return s.parseParamsNamed(name, q)
+}
+
+// parseParamsNamed parses the common query parameters for a dataset whose
+// name arrived out of band — from the query (parseParams) or from the tile
+// endpoint's path.
+func (s *Server) parseParamsNamed(name string, q url.Values) (*renderParams, error) {
 	n := s.DefaultN
 	if v := q.Get("n"); v != "" {
 		parsed, err := strconv.Atoi(v)

@@ -1,0 +1,111 @@
+// Package tiles is the slippy-map XYZ tile subsystem: tile addressing over
+// a dataset's data-space extent, per-tile renders through the quad engine,
+// and a two-level cache — an in-memory LRU in front of a crash-safe,
+// disk-persistent append-only tile store — behind the server's
+// GET /tiles/{dataset}/{z}/{x}/{y}.png endpoint.
+//
+// Addressing follows the standard XYZ scheme: zoom z divides the dataset's
+// default render window (bounding box plus margin) into a 2^z × 2^z
+// power-of-two pyramid of tiles, x growing east from the window's west
+// edge, y growing SOUTH from the window's NORTH edge (the slippy-map
+// convention, the opposite of the raster's lower-left pixel origin). Each
+// tile is a T×T pixel crop of the conceptual (T·2^z)² raster over the full
+// window, rendered through quad's sub-rect entry point — so a stitched
+// mosaic of any zoom level is bit-identical (Float64bits) to one full-bbox
+// render at that zoom's resolution, which the conformance suite asserts for
+// every bound method.
+//
+// Tiles are colored with a normalization fixed per pyramid (derived from
+// the zoom-0 base render), not per tile — adjacent tiles must agree at
+// their seams, and the fixed scale is also what makes a tile PNG
+// byte-identical to the same crop of a full render encoded with that scale.
+package tiles
+
+import (
+	"fmt"
+
+	quad "github.com/quadkdv/quad"
+)
+
+// MaxZoom bounds the pyramid depth the subsystem will address. At zoom 20
+// with 256-px tiles the conceptual raster is 2^28 pixels square — far past
+// any realistic dataset's usable depth, but the math (int pixel indices)
+// stays exact well beyond it.
+const MaxZoom = 20
+
+// Coord addresses one tile: zoom z, column x (west→east), row y
+// (north→south, the XYZ slippy-map convention).
+type Coord struct {
+	Z, X, Y int
+}
+
+func (c Coord) String() string { return fmt.Sprintf("%d/%d/%d", c.Z, c.X, c.Y) }
+
+// Validate checks the coordinate lies inside the pyramid: 0 ≤ z ≤ maxZoom
+// (MaxZoom when maxZoom ≤ 0) and 0 ≤ x, y < 2^z.
+func (c Coord) Validate(maxZoom int) error {
+	if maxZoom <= 0 || maxZoom > MaxZoom {
+		maxZoom = MaxZoom
+	}
+	if c.Z < 0 || c.Z > maxZoom {
+		return fmt.Errorf("tiles: zoom %d out of range [0, %d]", c.Z, maxZoom)
+	}
+	n := 1 << c.Z
+	if c.X < 0 || c.X >= n || c.Y < 0 || c.Y >= n {
+		return fmt.Errorf("tiles: tile %s outside the 2^%d pyramid", c, c.Z)
+	}
+	return nil
+}
+
+// PixelRect maps the tile onto the conceptual full raster at its zoom for
+// tile edge t: the full resolution (t·2^z square) and the tile's pixel
+// sub-rectangle in the raster's lower-left-origin coordinates. The XYZ y
+// axis grows south, the raster's grows north, so row y occupies the pixel
+// rows [(2^z−1−y)·t, (2^z−y)·t).
+func (c Coord) PixelRect(t int) (full quad.Resolution, sub quad.PixelRect) {
+	n := 1 << c.Z
+	full = quad.Resolution{W: n * t, H: n * t}
+	sub = quad.PixelRect{
+		X0: c.X * t,
+		X1: (c.X + 1) * t,
+		Y0: (n - 1 - c.Y) * t,
+		Y1: (n - c.Y) * t,
+	}
+	return full, sub
+}
+
+// Bbox returns the tile's data-space bounding box over the pyramid window:
+// the window divided into 2^z equal spans per axis, clamped so edge tiles
+// end exactly on the window's edges. This is the human-readable form of the
+// addressing (response headers, docs); renders use PixelRect, whose pixel
+// mapping is the bit-exact contract.
+func (c Coord) Bbox(win quad.Window) quad.Window {
+	n := float64(int(1) << c.Z)
+	spanX := (win.MaxX - win.MinX) / n
+	spanY := (win.MaxY - win.MinY) / n
+	out := quad.Window{
+		MinX: win.MinX + float64(c.X)*spanX,
+		MaxX: win.MinX + float64(c.X+1)*spanX,
+		// XYZ y counts from the north edge.
+		MaxY: win.MaxY - float64(c.Y)*spanY,
+		MinY: win.MaxY - float64(c.Y+1)*spanY,
+	}
+	if c.X == (1<<c.Z)-1 {
+		out.MaxX = win.MaxX
+	}
+	if c.Y == (1<<c.Z)-1 {
+		out.MinY = win.MinY
+	}
+	return out
+}
+
+// ValidTileSize reports whether t is a usable tile edge: a power of two in
+// [64, 1024]. Powers of two keep every tile origin aligned to the render
+// engine's 16-pixel tile lattice (the bit-identity precondition) and the
+// pyramid's resolutions sane.
+func ValidTileSize(t int) error {
+	if t < 64 || t > 1024 || t&(t-1) != 0 {
+		return fmt.Errorf("tiles: tile size %d (want a power of two in [64, 1024])", t)
+	}
+	return nil
+}

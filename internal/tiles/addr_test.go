@@ -1,0 +1,120 @@
+package tiles
+
+import (
+	"math"
+	"testing"
+
+	quad "github.com/quadkdv/quad"
+)
+
+func TestCoordValidate(t *testing.T) {
+	for _, tc := range []struct {
+		c  Coord
+		ok bool
+	}{
+		{Coord{0, 0, 0}, true},
+		{Coord{1, 1, 1}, true},
+		{Coord{3, 7, 0}, true},
+		{Coord{-1, 0, 0}, false},
+		{Coord{0, 1, 0}, false},
+		{Coord{0, 0, 1}, false},
+		{Coord{2, 4, 0}, false},
+		{Coord{2, 0, -1}, false},
+		{Coord{MaxZoom + 1, 0, 0}, false},
+	} {
+		if err := tc.c.Validate(0); (err == nil) != tc.ok {
+			t.Errorf("Validate(%v) = %v, want ok=%v", tc.c, err, tc.ok)
+		}
+	}
+	if err := (Coord{5, 0, 0}).Validate(4); err == nil {
+		t.Error("zoom 5 admitted past maxZoom 4")
+	}
+}
+
+// TestPixelRectTiling asserts the pixel rects of a zoom level tile the full
+// raster exactly: disjoint, in-bounds, covering every pixel, with XYZ y=0 at
+// the TOP of the raster.
+func TestPixelRectTiling(t *testing.T) {
+	const T = 64
+	for z := 0; z <= 3; z++ {
+		n := 1 << z
+		covered := make([]bool, n*T*n*T)
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				full, sub := (Coord{z, x, y}).PixelRect(T)
+				if full.W != n*T || full.H != n*T {
+					t.Fatalf("z%d full = %dx%d, want %d", z, full.W, full.H, n*T)
+				}
+				if sub.W() != T || sub.H() != T {
+					t.Fatalf("z%d/%d/%d sub %v not %d square", z, x, y, sub, T)
+				}
+				for py := sub.Y0; py < sub.Y1; py++ {
+					for px := sub.X0; px < sub.X1; px++ {
+						i := py*full.W + px
+						if covered[i] {
+							t.Fatalf("z%d pixel (%d,%d) covered twice", z, px, py)
+						}
+						covered[i] = true
+					}
+				}
+			}
+		}
+		for i, ok := range covered {
+			if !ok {
+				t.Fatalf("z%d pixel index %d uncovered", z, i)
+			}
+		}
+		// XYZ row 0 must be the top of the raster (highest pixel rows).
+		_, top := (Coord{z, 0, 0}).PixelRect(T)
+		if top.Y1 != n*T {
+			t.Fatalf("z%d tile y=0 ends at row %d, want top %d", z, top.Y1, n*T)
+		}
+	}
+}
+
+// TestBboxClamped asserts edge tiles end exactly on the window edges and
+// adjacent tiles share edges.
+func TestBboxClamped(t *testing.T) {
+	win := quad.Window{MinX: -3, MinY: 1, MaxX: 5, MaxY: 11}
+	for z := 0; z <= 4; z++ {
+		n := 1 << z
+		for _, c := range []Coord{{z, 0, 0}, {z, n - 1, n - 1}, {z, n / 2, n / 2}} {
+			b := c.Bbox(win)
+			if b.MaxX <= b.MinX || b.MaxY <= b.MinY {
+				t.Fatalf("%v: degenerate bbox %+v", c, b)
+			}
+			if c.X == 0 && b.MinX != win.MinX {
+				t.Fatalf("%v: west edge %g != %g", c, b.MinX, win.MinX)
+			}
+			if c.X == n-1 && b.MaxX != win.MaxX {
+				t.Fatalf("%v: east edge %g != %g", c, b.MaxX, win.MaxX)
+			}
+			if c.Y == 0 && b.MaxY != win.MaxY {
+				t.Fatalf("%v: north edge %g != %g", c, b.MaxY, win.MaxY)
+			}
+			if c.Y == n-1 && b.MinY != win.MinY {
+				t.Fatalf("%v: south edge %g != %g", c, b.MinY, win.MinY)
+			}
+		}
+		// Horizontal neighbors share their common edge bit-exactly.
+		if n >= 2 {
+			a, b := (Coord{z, 0, 0}).Bbox(win), (Coord{z, 1, 0}).Bbox(win)
+			if math.Float64bits(a.MaxX) != math.Float64bits(b.MinX) {
+				t.Fatalf("z%d seam: %g != %g", z, a.MaxX, b.MinX)
+			}
+		}
+	}
+}
+
+func TestValidTileSize(t *testing.T) {
+	for _, ok := range []int{64, 128, 256, 512, 1024} {
+		if err := ValidTileSize(ok); err != nil {
+			t.Errorf("ValidTileSize(%d) = %v", ok, err)
+		}
+	}
+	for _, bad := range []int{0, -256, 32, 100, 300, 2048, 96} {
+		if err := ValidTileSize(bad); err == nil {
+			t.Errorf("ValidTileSize(%d) accepted", bad)
+		}
+	}
+}

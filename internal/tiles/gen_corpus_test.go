@@ -1,0 +1,38 @@
+package tiles
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGenCorpus regenerates the FuzzTileRecord seed corpus. Gated behind an
+// env var so it only runs when invoked explicitly.
+func TestGenCorpus(t *testing.T) {
+	if os.Getenv("GEN_TILE_CORPUS") == "" {
+		t.Skip("set GEN_TILE_CORPUS=1 to regenerate the seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzTileRecord")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	whole := mustEncode(t, Record{X: 3, Y: 7, Payload: []byte("tile-payload")})
+	two := mustEncode(t, Record{X: 0, Y: 0, Payload: []byte("a")})
+	two = append(two, mustEncode(t, Record{X: 1, Y: 2, Payload: []byte("bb")})...)
+	seeds := map[string][]byte{
+		"seed_empty":        nil,
+		"seed_magic_only":   []byte("KDT1"),
+		"seed_garbage":      []byte("not a tile record at all........"),
+		"seed_whole_record": whole,
+		"seed_torn_tail":    whole[:len(whole)-3],
+		"seed_torn_header":  whole[:recordHeaderSize-1],
+		"seed_two_records":  two,
+	}
+	for name, b := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", b)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

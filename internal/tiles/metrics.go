@@ -1,0 +1,145 @@
+package tiles
+
+import "github.com/quadkdv/quad/internal/telemetry"
+
+// Metrics is the tile subsystem's metric surface, the kdv_tiles_* families.
+// A nil *Metrics records nothing (every telemetry recorder is nil-safe), so
+// tests and embedded uses can pass nil.
+type Metrics struct {
+	// Lookup outcomes: which cache level answered, or neither (a build).
+	MemHits     *telemetry.Counter
+	DiskHits    *telemetry.Counter
+	Misses      *telemetry.Counter
+	Coalesced   *telemetry.Counter
+	NotModified *telemetry.Counter
+
+	// Build outcomes and latency.
+	BuildsOK     *telemetry.Counter
+	BuildsErr    *telemetry.Counter
+	BuildSeconds *telemetry.Histogram
+
+	// Persistent store health.
+	StoreWrites  *telemetry.Counter
+	StoreCorrupt *telemetry.Counter
+	StoreBytes   *telemetry.Gauge
+
+	// In-memory LRU residency.
+	MemEntries *telemetry.Gauge
+	MemBytes   *telemetry.Gauge
+}
+
+// NewMetrics registers the kdv_tiles_* families on reg.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		MemHits: reg.Counter("kdv_tiles_hits_total",
+			"Tile lookups answered from cache, by level.", telemetry.L("level", "memory")),
+		DiskHits: reg.Counter("kdv_tiles_hits_total",
+			"Tile lookups answered from cache, by level.", telemetry.L("level", "disk")),
+		Misses: reg.Counter("kdv_tiles_misses_total",
+			"Tile lookups that missed both cache levels and started a build."),
+		Coalesced: reg.Counter("kdv_tiles_coalesced_total",
+			"Tile lookups that waited on another request's in-flight build (singleflight)."),
+		NotModified: reg.Counter("kdv_tiles_not_modified_total",
+			"Tile requests answered 304 via If-None-Match."),
+		BuildsOK: reg.Counter("kdv_tiles_builds_total",
+			"Tile builds, by outcome.", telemetry.L("outcome", "ok")),
+		BuildsErr: reg.Counter("kdv_tiles_builds_total",
+			"Tile builds, by outcome.", telemetry.L("outcome", "error")),
+		BuildSeconds: reg.Histogram("kdv_tiles_build_seconds",
+			"Wall time of a tile build (render + encode + store).", telemetry.DurationBuckets),
+		StoreWrites: reg.Counter("kdv_tiles_store_writes_total",
+			"Tile records appended to the persistent store."),
+		StoreCorrupt: reg.Counter("kdv_tiles_store_corrupt_total",
+			"Tile store recoveries: truncated or corrupt log tails dropped at open."),
+		StoreBytes: reg.Gauge("kdv_tiles_store_bytes",
+			"Bytes resident in open persistent tile logs."),
+		MemEntries: reg.Gauge("kdv_tiles_memory_entries",
+			"Tiles resident in the in-memory cache."),
+		MemBytes: reg.Gauge("kdv_tiles_memory_bytes",
+			"Bytes resident in the in-memory tile cache."),
+	}
+}
+
+func (m *Metrics) memHit() *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.MemHits
+}
+
+func (m *Metrics) diskHit() *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.DiskHits
+}
+
+func (m *Metrics) miss() *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.Misses
+}
+
+func (m *Metrics) coalesced() *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.Coalesced
+}
+
+func (m *Metrics) buildsOK() *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.BuildsOK
+}
+
+func (m *Metrics) buildsErr() *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.BuildsErr
+}
+
+func (m *Metrics) buildSeconds() *telemetry.Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.BuildSeconds
+}
+
+func (m *Metrics) storeWrites() *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.StoreWrites
+}
+
+func (m *Metrics) storeCorrupt() *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.StoreCorrupt
+}
+
+func (m *Metrics) storeBytes() *telemetry.Gauge {
+	if m == nil {
+		return nil
+	}
+	return m.StoreBytes
+}
+
+func (m *Metrics) memEntries() *telemetry.Gauge {
+	if m == nil {
+		return nil
+	}
+	return m.MemEntries
+}
+
+func (m *Metrics) memBytes() *telemetry.Gauge {
+	if m == nil {
+		return nil
+	}
+	return m.MemBytes
+}

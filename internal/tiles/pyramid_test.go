@@ -1,0 +1,188 @@
+package tiles
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	quad "github.com/quadkdv/quad"
+	"github.com/quadkdv/quad/internal/dataset"
+)
+
+func testKDV(t *testing.T) *quad.KDV {
+	t.Helper()
+	pts, err := dataset.Generate("crime", 800, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts = dataset.First2D(pts)
+	k, err := quad.New(pts.Coords, pts.Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func testPyramid(t *testing.T, dir string, m *Metrics) *Pyramid {
+	t.Helper()
+	var store *Store
+	if dir != "" {
+		store = OpenStore(dir, m)
+		t.Cleanup(func() { store.Close() })
+	}
+	p, err := NewPyramid(context.Background(), PyramidConfig{
+		Tileset:  "crime/800/11/epan/quad/eps=0.05/t=64/log",
+		KDV:      testKDV(t),
+		Eps:      0.05,
+		TileSize: 64,
+		MaxZoom:  4,
+		LogScale: true,
+		Store:    store,
+		Metrics:  m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPyramidLevels walks a tile through the cache levels: build on first
+// touch, memory on the second, disk after the memory level is dropped.
+func TestPyramidLevels(t *testing.T) {
+	m := testMetrics()
+	dir := t.TempDir()
+	p := testPyramid(t, dir, m)
+	c := Coord{Z: 1, X: 0, Y: 1}
+
+	t1, src, err := p.Tile(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != "build" {
+		t.Fatalf("first touch source = %q, want build", src)
+	}
+	if len(t1.PNG) == 0 || t1.ETag == "" {
+		t.Fatal("empty tile")
+	}
+	t2, src, err := p.Tile(context.Background(), c)
+	if err != nil || src != "memory" {
+		t.Fatalf("second touch = %q, %v; want memory", src, err)
+	}
+	if !bytes.Equal(t1.PNG, t2.PNG) || t1.ETag != t2.ETag {
+		t.Fatal("memory tile differs from built tile")
+	}
+	// Drop the memory level; the disk store must answer without a rebuild.
+	p.lru = NewLRU(1<<20, m)
+	builds := m.BuildsOK.Value()
+	t3, src, err := p.Tile(context.Background(), c)
+	if err != nil || src != "disk" {
+		t.Fatalf("after memory drop = %q, %v; want disk", src, err)
+	}
+	if !bytes.Equal(t1.PNG, t3.PNG) || t1.ETag != t3.ETag {
+		t.Fatal("disk tile differs from built tile")
+	}
+	if m.BuildsOK.Value() != builds {
+		t.Fatal("disk hit triggered a rebuild")
+	}
+	if m.MemHits.Value() != 1 || m.DiskHits.Value() != 1 || m.Misses.Value() != 1 {
+		t.Fatalf("counters mem=%d disk=%d miss=%d, want 1/1/1",
+			m.MemHits.Value(), m.DiskHits.Value(), m.Misses.Value())
+	}
+}
+
+// TestPyramidETagAcrossRestart asserts the ETag is purely content-derived:
+// a fresh pyramid over the same directory serves the same bytes and the
+// same ETag without rebuilding.
+func TestPyramidETagAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	c := Coord{Z: 2, X: 1, Y: 2}
+	p1 := testPyramid(t, dir, nil)
+	t1, _, err := p1.Tile(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMetrics()
+	p2 := testPyramid(t, dir, m)
+	t2, src, err := p2.Tile(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != "disk" {
+		t.Fatalf("restart source = %q, want disk", src)
+	}
+	if t1.ETag != t2.ETag || !bytes.Equal(t1.PNG, t2.PNG) {
+		t.Fatalf("restart changed tile: etag %s vs %s", t1.ETag, t2.ETag)
+	}
+}
+
+// TestPyramidSingleflight asserts concurrent first touches of one tile
+// coalesce onto one build.
+func TestPyramidSingleflight(t *testing.T) {
+	m := testMetrics()
+	p := testPyramid(t, "", m)
+	c := Coord{Z: 3, X: 5, Y: 2}
+	const N = 8
+	var wg sync.WaitGroup
+	tiles := make([]*Tile, N)
+	errs := make([]error, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tiles[i], _, errs[i] = p.Tile(context.Background(), c)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < N; i++ {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d: %v", i, errs[i])
+		}
+		if tiles[i].ETag != tiles[0].ETag {
+			t.Fatalf("waiter %d got a different tile", i)
+		}
+	}
+	// One build for this coord (the base tile build is counted too).
+	if misses := m.Misses.Value(); misses != 1 {
+		t.Fatalf("misses = %d, want 1", misses)
+	}
+}
+
+// TestPyramidValidation rejects out-of-pyramid coordinates and bad sizes.
+func TestPyramidValidation(t *testing.T) {
+	p := testPyramid(t, "", nil)
+	for _, c := range []Coord{{Z: -1}, {Z: 5}, {Z: 1, X: 2}, {Z: 1, Y: -1}} {
+		if _, _, err := p.Tile(context.Background(), c); err == nil {
+			t.Fatalf("coord %v accepted", c)
+		}
+	}
+	if _, err := NewPyramid(context.Background(), PyramidConfig{
+		Tileset: "x", KDV: testKDV(t), Eps: 0.05, TileSize: 100,
+	}); err == nil {
+		t.Fatal("tile size 100 accepted")
+	}
+}
+
+// TestPyramidWarm precomputes zooms 0–1 and asserts they serve from cache
+// afterwards.
+func TestPyramidWarm(t *testing.T) {
+	m := testMetrics()
+	dir := t.TempDir()
+	p := testPyramid(t, dir, m)
+	n, err := p.Warm(context.Background(), []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1+4 {
+		t.Fatalf("warmed %d tiles, want 5", n)
+	}
+	builds := m.BuildsOK.Value()
+	for _, c := range []Coord{{0, 0, 0}, {1, 0, 0}, {1, 1, 1}} {
+		if _, src, err := p.Tile(context.Background(), c); err != nil || src == "build" {
+			t.Fatalf("tile %v after warm: src=%q err=%v", c, src, err)
+		}
+	}
+	if m.BuildsOK.Value() != builds {
+		t.Fatal("warm did not stick")
+	}
+}

@@ -1,0 +1,119 @@
+package tiles
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// The persistent tile store is an append-only log of self-delimiting
+// records, one log per tileset/zoom (the zoom and tileset identity live in
+// the file's path, not the records). A record is:
+//
+//	offset  size  field
+//	0       4     magic "KDT1"
+//	4       4     x      (uint32 LE, tile column)
+//	8       4     y      (uint32 LE, tile row, XYZ orientation)
+//	12      4     plen   (uint32 LE, payload length)
+//	16      4     hcrc   (uint32 LE, IEEE CRC-32 of bytes [0,16))
+//	20      plen  payload (the encoded PNG)
+//	20+plen 4     pcrc   (uint32 LE, IEEE CRC-32 of the payload)
+//
+// The header CRC makes a torn header distinguishable from a corrupt one
+// without trusting plen; the payload CRC catches partial payload writes and
+// bit rot. Decoding classifies every failure as either ErrTruncated (the
+// bytes so far are a valid prefix of a record — the expected state after a
+// crash mid-append, recovered by truncating to the last whole record) or
+// ErrCorrupt (the bytes can never become a valid record — counted and
+// surfaced as a cache miss, never an error to the client).
+
+var (
+	// ErrTruncated reports a record cut short — a valid prefix that ends
+	// before the record completes (torn tail after a crash).
+	ErrTruncated = errors.New("tiles: truncated record")
+	// ErrCorrupt reports bytes that cannot be a record prefix: bad magic,
+	// CRC mismatch, or an implausible length.
+	ErrCorrupt = errors.New("tiles: corrupt record")
+)
+
+var recordMagic = [4]byte{'K', 'D', 'T', '1'}
+
+const (
+	recordHeaderSize = 20
+	// MaxPayload bounds a record's payload. A 1024² RGBA PNG is well under
+	// a megabyte; 32 MiB leaves two orders of magnitude of headroom while
+	// keeping a corrupt-but-CRC-colliding length from driving a huge
+	// allocation.
+	MaxPayload = 32 << 20
+)
+
+// Record is one stored tile: its x/y within the log's zoom level and the
+// encoded PNG payload.
+type Record struct {
+	X, Y    uint32
+	Payload []byte
+}
+
+// AppendRecord appends r's encoding to dst and returns the extended slice.
+func AppendRecord(dst []byte, r Record) ([]byte, error) {
+	if len(r.Payload) > MaxPayload {
+		return nil, fmt.Errorf("%w: payload %d exceeds %d", ErrCorrupt, len(r.Payload), MaxPayload)
+	}
+	var hdr [recordHeaderSize]byte
+	copy(hdr[0:4], recordMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], r.X)
+	binary.LittleEndian.PutUint32(hdr[8:12], r.Y)
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(r.Payload)))
+	binary.LittleEndian.PutUint32(hdr[16:20], crc32.ChecksumIEEE(hdr[0:16]))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, r.Payload...)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc32.ChecksumIEEE(r.Payload))
+	return append(dst, tail[:]...), nil
+}
+
+// DecodeRecord decodes the record starting at b[0] and returns it with the
+// number of bytes it occupied. The returned payload aliases b — callers
+// that outlive b must copy. Failures are ErrTruncated when b is a valid
+// proper prefix of a record and ErrCorrupt when it can never complete into
+// one; DecodeRecord never panics, whatever the input.
+func DecodeRecord(b []byte) (Record, int, error) {
+	if len(b) < recordHeaderSize {
+		// Short of a full header: truncated if what's there agrees with a
+		// record prefix, corrupt as soon as a byte rules one out.
+		n := len(b)
+		if n > 4 {
+			n = 4
+		}
+		for i := 0; i < n; i++ {
+			if b[i] != recordMagic[i] {
+				return Record{}, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+			}
+		}
+		return Record{}, 0, ErrTruncated
+	}
+	if [4]byte(b[0:4]) != recordMagic {
+		return Record{}, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if got, want := crc32.ChecksumIEEE(b[0:16]), binary.LittleEndian.Uint32(b[16:20]); got != want {
+		return Record{}, 0, fmt.Errorf("%w: header crc %08x, want %08x", ErrCorrupt, got, want)
+	}
+	plen := binary.LittleEndian.Uint32(b[12:16])
+	if plen > MaxPayload {
+		return Record{}, 0, fmt.Errorf("%w: payload length %d exceeds %d", ErrCorrupt, plen, MaxPayload)
+	}
+	total := recordHeaderSize + int(plen) + 4
+	if len(b) < total {
+		return Record{}, 0, ErrTruncated
+	}
+	payload := b[recordHeaderSize : recordHeaderSize+int(plen)]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(b[total-4:total]); got != want {
+		return Record{}, 0, fmt.Errorf("%w: payload crc %08x, want %08x", ErrCorrupt, got, want)
+	}
+	return Record{
+		X:       binary.LittleEndian.Uint32(b[4:8]),
+		Y:       binary.LittleEndian.Uint32(b[8:12]),
+		Payload: payload,
+	}, total, nil
+}

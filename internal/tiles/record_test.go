@@ -1,0 +1,153 @@
+package tiles
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func mustEncode(t *testing.T, r Record) []byte {
+	t.Helper()
+	b, err := AppendRecord(nil, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	for _, r := range []Record{
+		{X: 0, Y: 0, Payload: nil},
+		{X: 3, Y: 7, Payload: []byte("png bytes")},
+		{X: 1<<32 - 1, Y: 42, Payload: bytes.Repeat([]byte{0xAB}, 4096)},
+	} {
+		enc := mustEncode(t, r)
+		got, n, err := DecodeRecord(enc)
+		if err != nil {
+			t.Fatalf("decode(%v): %v", r, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("decode consumed %d of %d", n, len(enc))
+		}
+		if got.X != r.X || got.Y != r.Y || !bytes.Equal(got.Payload, r.Payload) {
+			t.Fatalf("round trip: got %v want %v", got, r)
+		}
+	}
+}
+
+// TestRecordSequence asserts back-to-back records decode in order — the
+// store's scan loop.
+func TestRecordSequence(t *testing.T) {
+	var log []byte
+	recs := []Record{
+		{X: 0, Y: 0, Payload: []byte("a")},
+		{X: 1, Y: 0, Payload: []byte("bb")},
+		{X: 0, Y: 1, Payload: []byte("ccc")},
+	}
+	for _, r := range recs {
+		var err error
+		log, err = AppendRecord(log, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	off := 0
+	for i, want := range recs {
+		got, n, err := DecodeRecord(log[off:])
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got.X != want.X || got.Y != want.Y || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("record %d: got %v want %v", i, got, want)
+		}
+		off += n
+	}
+	if off != len(log) {
+		t.Fatalf("scan left %d bytes", len(log)-off)
+	}
+}
+
+// TestRecordTruncation asserts every proper prefix of a record decodes as
+// ErrTruncated — the crash-recovery classification.
+func TestRecordTruncation(t *testing.T) {
+	enc := mustEncode(t, Record{X: 5, Y: 9, Payload: []byte("payload bytes here")})
+	for cut := 0; cut < len(enc); cut++ {
+		_, _, err := DecodeRecord(enc[:cut])
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("prefix of %d/%d bytes: got %v, want ErrTruncated", cut, len(enc), err)
+		}
+	}
+}
+
+// TestRecordCorruption asserts flipped bytes classify as ErrCorrupt, not
+// ErrTruncated and not a bogus success.
+func TestRecordCorruption(t *testing.T) {
+	enc := mustEncode(t, Record{X: 5, Y: 9, Payload: []byte("payload bytes here")})
+	for _, pos := range []int{0, 3, 5, 13, 17, recordHeaderSize + 2, len(enc) - 1} {
+		bad := bytes.Clone(enc)
+		bad[pos] ^= 0xFF
+		if _, _, err := DecodeRecord(bad); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at %d: got %v, want ErrCorrupt", pos, err)
+		}
+	}
+	// Garbage that shares no prefix with a record.
+	if _, _, err := DecodeRecord([]byte("not a record at all......")); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("garbage accepted")
+	}
+	// A short fragment that already disagrees with the magic is corrupt,
+	// not truncated.
+	if _, _, err := DecodeRecord([]byte{'X'}); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("bad one-byte fragment not corrupt")
+	}
+	// A short fragment consistent with the magic is truncated.
+	if _, _, err := DecodeRecord([]byte{'K', 'D'}); !errors.Is(err, ErrTruncated) {
+		t.Fatal("valid two-byte prefix not truncated")
+	}
+}
+
+func TestRecordPayloadBound(t *testing.T) {
+	if _, err := AppendRecord(nil, Record{Payload: make([]byte, MaxPayload+1)}); err == nil {
+		t.Fatal("oversized payload encoded")
+	}
+}
+
+// FuzzTileRecord fuzzes the decode path (arbitrary bytes never panic,
+// errors are always one of the two classes) and, when the input happens to
+// decode, re-encodes and checks the round trip is exact.
+func FuzzTileRecord(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("KDT1"))
+	f.Add([]byte("not a record"))
+	whole, _ := AppendRecord(nil, Record{X: 2, Y: 3, Payload: []byte("seed tile payload")})
+	f.Add(whole)
+	f.Add(whole[:len(whole)-3])
+	f.Add(whole[:recordHeaderSize-1])
+	two, _ := AppendRecord(whole, Record{X: 9, Y: 1, Payload: nil})
+	f.Add(two)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		rec, n, err := DecodeRecord(b)
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+			return
+		}
+		if n <= 0 || n > len(b) {
+			t.Fatalf("decoded length %d out of [1, %d]", n, len(b))
+		}
+		enc, err := AppendRecord(nil, rec)
+		if err != nil {
+			t.Fatalf("re-encode of decoded record: %v", err)
+		}
+		if !bytes.Equal(enc, b[:n]) {
+			t.Fatalf("re-encode differs from input bytes")
+		}
+		// Truncation at every offset of the decoded record must stay a
+		// clean prefix error, never a panic or success.
+		for cut := 0; cut < n; cut++ {
+			if _, _, err := DecodeRecord(b[:cut]); err == nil {
+				t.Fatalf("proper prefix %d/%d decoded successfully", cut, n)
+			}
+		}
+	})
+}

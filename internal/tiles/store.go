@@ -1,0 +1,217 @@
+package tiles
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is the disk level of the tile cache: one append-only record log
+// per tileset/zoom under a root directory, each paired with an in-memory
+// index rebuilt by scanning the log at open. There is no separate index
+// file and no database — the log IS the store, which makes the crash story
+// one sentence: an append either completed (the scan finds a whole record)
+// or it did not (the scan stops at the torn tail, the file is truncated to
+// the last whole record, and the lost tile is simply a miss). Re-putting a
+// tile appends a newer record; the scan's last-record-wins rule makes it
+// the visible one.
+//
+// Layout: <dir>/<tileset-dir>/z<zoom>.log, where tileset-dir is the
+// sanitized tileset key plus a short content hash (collision-proof even
+// after sanitizing). Logs open lazily on first access and stay open.
+type Store struct {
+	dir string
+	m   *Metrics
+
+	mu   sync.Mutex
+	logs map[string]*tileLog
+}
+
+// OpenStore returns a store rooted at dir. The directory is created on
+// first write; opening never scans anything eagerly. m may be nil.
+func OpenStore(dir string, m *Metrics) *Store {
+	return &Store{dir: dir, m: m, logs: make(map[string]*tileLog)}
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+type recSpan struct {
+	off int64
+	n   int
+}
+
+type tileLog struct {
+	f     *os.File
+	index map[[2]uint32]recSpan
+	size  int64
+}
+
+// sanitizeTileset maps an arbitrary tileset key to one directory name:
+// unsafe runes become '_' and a 10-hex-digit content hash is appended so
+// distinct keys can never collide after sanitizing.
+func sanitizeTileset(tileset string) string {
+	var b strings.Builder
+	for _, r := range tileset {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_', r == '=':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	sum := sha256.Sum256([]byte(tileset))
+	return b.String() + "-" + hex.EncodeToString(sum[:5])
+}
+
+func (s *Store) logKey(tileset string, z int) string {
+	return fmt.Sprintf("%s\x00%d", tileset, z)
+}
+
+func (s *Store) logPath(tileset string, z int) string {
+	return filepath.Join(s.dir, sanitizeTileset(tileset), fmt.Sprintf("z%d.log", z))
+}
+
+// openLog returns the log for tileset/z, opening and scanning it on first
+// use. Called with s.mu held.
+func (s *Store) openLog(tileset string, z int) (*tileLog, error) {
+	key := s.logKey(tileset, z)
+	if l, ok := s.logs[key]; ok {
+		return l, nil
+	}
+	path := s.logPath(tileset, z)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	index := make(map[[2]uint32]recSpan)
+	valid := 0
+	for valid < len(data) {
+		rec, n, err := DecodeRecord(data[valid:])
+		if err != nil {
+			// Torn or corrupt tail: everything before it is intact, so
+			// recover that prefix and drop the rest. The dropped tiles are
+			// misses, never request errors.
+			break
+		}
+		index[[2]uint32{rec.X, rec.Y}] = recSpan{off: int64(valid), n: n}
+		valid += n
+	}
+	// O_APPEND (not truncate-and-rewrite): concurrent readers of the same
+	// file never observe a shrinking-then-growing log except during this
+	// one-time recovery.
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if valid < len(data) {
+		s.m.storeCorrupt().Inc()
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	l := &tileLog{f: f, index: index, size: int64(valid)}
+	s.logs[key] = l
+	s.m.storeBytes().Add(l.size)
+	return l, nil
+}
+
+// Get returns the stored PNG for tileset/c, or ok=false on a miss. The
+// returned slice is the caller's to keep. Read-back failures (the file
+// changed underneath us, bit rot since open) degrade to a miss — the tile
+// will be rebuilt, not failed.
+func (s *Store) Get(tileset string, c Coord) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, err := s.openLog(tileset, c.Z)
+	if err != nil {
+		return nil, false
+	}
+	span, ok := l.index[[2]uint32{uint32(c.X), uint32(c.Y)}]
+	if !ok {
+		return nil, false
+	}
+	buf := make([]byte, span.n)
+	if _, err := l.f.ReadAt(buf, span.off); err != nil {
+		return nil, false
+	}
+	rec, _, err := DecodeRecord(buf)
+	if err != nil {
+		s.m.storeCorrupt().Inc()
+		delete(l.index, [2]uint32{uint32(c.X), uint32(c.Y)})
+		return nil, false
+	}
+	return rec.Payload, true // payload aliases buf, which is ours
+}
+
+// Put appends the tile's PNG to its log. The append is one write call, so
+// a crash leaves either a whole record or a recoverable torn tail.
+func (s *Store) Put(tileset string, c Coord, png []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, err := s.openLog(tileset, c.Z)
+	if err != nil {
+		return err
+	}
+	buf, err := AppendRecord(nil, Record{X: uint32(c.X), Y: uint32(c.Y), Payload: png})
+	if err != nil {
+		return err
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		// The log may now hold a torn record; resync our view of the file
+		// so the index never points past what the next open would keep.
+		if st, serr := l.f.Stat(); serr == nil && st.Size() != l.size {
+			l.f.Truncate(l.size)
+		}
+		return err
+	}
+	l.index[[2]uint32{uint32(c.X), uint32(c.Y)}] = recSpan{off: l.size, n: len(buf)}
+	l.size += int64(len(buf))
+	s.m.storeWrites().Inc()
+	s.m.storeBytes().Add(int64(len(buf)))
+	return nil
+}
+
+// Len reports how many distinct tiles the tileset/z log currently indexes.
+func (s *Store) Len(tileset string, z int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, err := s.openLog(tileset, z)
+	if err != nil {
+		return 0
+	}
+	return len(l.index)
+}
+
+// Close closes every open log. The store stays usable — a later access
+// reopens (and rescans) the log.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	keys := make([]string, 0, len(s.logs))
+	for k := range s.logs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		l := s.logs[k]
+		s.m.storeBytes().Add(-l.size)
+		if err := l.f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.logs, k)
+	}
+	return first
+}

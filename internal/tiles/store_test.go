@@ -1,0 +1,189 @@
+package tiles
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/quadkdv/quad/internal/telemetry"
+)
+
+func testMetrics() *Metrics { return NewMetrics(telemetry.NewRegistry()) }
+
+func TestStorePutGet(t *testing.T) {
+	s := OpenStore(t.TempDir(), nil)
+	defer s.Close()
+	c := Coord{Z: 2, X: 1, Y: 3}
+	if _, ok := s.Get("ts", c); ok {
+		t.Fatal("hit on empty store")
+	}
+	if err := s.Put("ts", c, []byte("tile png")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("ts", c)
+	if !ok || !bytes.Equal(got, []byte("tile png")) {
+		t.Fatalf("get = %q, %v", got, ok)
+	}
+	// Distinct tilesets are distinct namespaces.
+	if _, ok := s.Get("other", c); ok {
+		t.Fatal("cross-tileset hit")
+	}
+	// Re-put wins.
+	if err := s.Put("ts", c, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get("ts", c); !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("after re-put: %q", got)
+	}
+	if n := s.Len("ts", 2); n != 1 {
+		t.Fatalf("Len = %d, want 1 (last record wins)", n)
+	}
+}
+
+// TestStoreRestart asserts a fresh store over the same directory serves
+// what the old one wrote — the persistence contract behind restart-warm
+// serving.
+func TestStoreRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := OpenStore(dir, nil)
+	c := Coord{Z: 1, X: 0, Y: 1}
+	if err := s.Put("ts", c, []byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := OpenStore(dir, nil)
+	defer s2.Close()
+	got, ok := s2.Get("ts", c)
+	if !ok || !bytes.Equal(got, []byte("persisted")) {
+		t.Fatalf("restart get = %q, %v", got, ok)
+	}
+}
+
+// findLog locates the single z-level log file the store created.
+func findLog(t *testing.T, dir string) string {
+	t.Helper()
+	var path string
+	err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			path = p
+		}
+		return err
+	})
+	if err != nil || path == "" {
+		t.Fatalf("no log file under %s (err %v)", dir, err)
+	}
+	return path
+}
+
+// TestStoreTornTail simulates a crash mid-append: the log loses its last
+// bytes. Reopening must recover the valid prefix, count the recovery in
+// kdv_tiles_store_corrupt_total, serve surviving tiles, treat the torn one
+// as a miss, and accept new appends.
+func TestStoreTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s := OpenStore(dir, nil)
+	a, b := Coord{Z: 3, X: 1, Y: 1}, Coord{Z: 3, X: 2, Y: 5}
+	if err := s.Put("ts", a, []byte("first, survives")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("ts", b, []byte("second, torn")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	path := findLog(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each cut stays inside the tail record (header 20 + payload 12 + crc 4
+	// = 36 bytes): mid-CRC, mid-payload, and mid-header tears.
+	for _, cut := range []int{1, 3, 9, 30} {
+		if err := os.WriteFile(path, data[:len(data)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m := testMetrics()
+		s2 := OpenStore(dir, m)
+		if got, ok := s2.Get("ts", a); !ok || !bytes.Equal(got, []byte("first, survives")) {
+			t.Fatalf("cut %d: surviving tile lost: %q, %v", cut, got, ok)
+		}
+		if _, ok := s2.Get("ts", b); ok {
+			t.Fatalf("cut %d: torn tile served", cut)
+		}
+		if n := m.StoreCorrupt.Value(); n != 1 {
+			t.Fatalf("cut %d: corrupt counter = %d, want 1", cut, n)
+		}
+		// The store keeps working after recovery.
+		if err := s2.Put("ts", b, []byte("rebuilt")); err != nil {
+			t.Fatalf("cut %d: put after recovery: %v", cut, err)
+		}
+		if got, ok := s2.Get("ts", b); !ok || !bytes.Equal(got, []byte("rebuilt")) {
+			t.Fatalf("cut %d: rebuilt tile: %q, %v", cut, got, ok)
+		}
+		s2.Close()
+	}
+}
+
+// TestStoreCorruptTail flips bytes in the tail record (not just truncates):
+// recovery drops it, keeps the prefix, counts the event.
+func TestStoreCorruptTail(t *testing.T) {
+	dir := t.TempDir()
+	s := OpenStore(dir, nil)
+	a, b := Coord{Z: 2, X: 0, Y: 0}, Coord{Z: 2, X: 3, Y: 3}
+	if err := s.Put("ts", a, []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("ts", b, []byte("rot")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	path := findLog(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xFF // inside the tail record's payload CRC
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := testMetrics()
+	s2 := OpenStore(dir, m)
+	defer s2.Close()
+	if got, ok := s2.Get("ts", a); !ok || !bytes.Equal(got, []byte("keep")) {
+		t.Fatalf("prefix tile lost: %q, %v", got, ok)
+	}
+	if _, ok := s2.Get("ts", b); ok {
+		t.Fatal("corrupt tile served")
+	}
+	if n := m.StoreCorrupt.Value(); n != 1 {
+		t.Fatalf("corrupt counter = %d, want 1", n)
+	}
+}
+
+// TestStoreEmptyAndMissing: a missing directory or empty log is a clean
+// all-miss store, not an error.
+func TestStoreEmptyAndMissing(t *testing.T) {
+	s := OpenStore(filepath.Join(t.TempDir(), "does", "not", "exist"), nil)
+	defer s.Close()
+	if _, ok := s.Get("ts", Coord{}); ok {
+		t.Fatal("hit on missing dir")
+	}
+	if err := s.Put("ts", Coord{}, []byte("x")); err != nil {
+		t.Fatalf("put creates dirs: %v", err)
+	}
+}
+
+func TestSanitizeTileset(t *testing.T) {
+	a := sanitizeTileset("crime/100k/7/epan/quad/eps=0.05/t=256")
+	b := sanitizeTileset("crime_100k/7/epan/quad/eps=0.05/t=256")
+	if a == b {
+		t.Fatalf("distinct tilesets collide: %s", a)
+	}
+	if filepath.Base(a) != a || filepath.IsAbs(a) {
+		t.Fatalf("sanitized name %q escapes its directory", a)
+	}
+}

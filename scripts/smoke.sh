@@ -6,9 +6,13 @@
 # traceparent must surface its trace ID in the exported span log, and
 # /debug/workmap must serve a work-map PNG. Diagnostic artifacts (trace
 # JSON, work-map PNG) land in SMOKE_ARTIFACTS when set, so CI can upload
-# them. A final pass boots a coordinator + two shard workers, kills one,
-# and asserts the render degrades to a 200 partial raster flagged
-# X-KDV-Complete: false / X-KDV-Shards: 1/2.
+# them. A tile pass drives the /tiles pyramid through its three serving
+# tiers: first fetch builds (miss), replay hits memory, a conditional GET
+# with the ETag answers 304, and a server restart over the same -tiles-dir
+# serves the identical bytes from disk without rebuilding. A final pass
+# boots a coordinator + two shard workers, kills one, and asserts the
+# render degrades to a 200 partial raster flagged X-KDV-Complete: false /
+# X-KDV-Shards: 1/2.
 set -eu
 
 ADDR="${SMOKE_ADDR:-127.0.0.1:18080}"
@@ -16,6 +20,7 @@ BASE="http://$ADDR"
 BIN="$(mktemp -d)/kdvserve"
 LOG="$(mktemp)"
 ART="${SMOKE_ARTIFACTS:-$(mktemp -d)}"
+TILES="$(mktemp -d)"
 mkdir -p "$ART"
 
 cleanup() {
@@ -26,11 +31,13 @@ cleanup() {
         [ -n "$pid" ] && wait "$pid" 2>/dev/null || true
     done
     rm -f "$BIN" "$LOG"
+    rm -rf "$TILES"
 }
 trap cleanup EXIT INT TERM
 
 go build -o "$BIN" ./cmd/kdvserve
 "$BIN" -addr "$ADDR" -n 3000 -slow-query 1ns -enable-workmap \
+    -tiles-dir "$TILES" -tile-size 128 \
     -trace-log "$ART/serve.trace.jsonl" >"$LOG" 2>&1 &
 SRV_PID=$!
 
@@ -101,6 +108,63 @@ grep -q '"render.eps"' "$ART/render.trace.json" \
 [ -s "$ART/render.workmap.png" ] \
     || { echo "smoke: kdvrender work-map PNG missing"; exit 1; }
 echo "smoke: kdvrender artifacts written to $ART"
+
+# Tile pyramid scenario: the three serving tiers and the HTTP caching
+# contract, end to end over the real disk store.
+TILE_URL="$BASE/tiles/crime/1/0/0.png?eps=0.05"
+
+# First fetch is a miss: the tile is built through the engine.
+H1="$(curl -sf -D - -o "$ART/tile.png" "$TILE_URL" | tr -d '\r')" \
+    || { echo "smoke: tile fetch failed"; cat "$LOG"; exit 1; }
+tile_sig="$(head -c 4 "$ART/tile.png" | od -An -tx1 | tr -d ' \n')"
+[ "$tile_sig" = "89504e47" ] \
+    || { echo "smoke: /tiles did not return a PNG"; exit 1; }
+ETAG="$(echo "$H1" | sed -n 's/^ETag: //Ip')"
+[ -n "$ETAG" ] || { echo "smoke: tile response missing ETag"; echo "$H1"; exit 1; }
+SRC1="$(echo "$H1" | sed -n 's/^X-KDV-Tile-Source: //Ip')"
+case "$SRC1" in build|coalesced) ;; *)
+    echo "smoke: first tile fetch source '$SRC1', want build"; exit 1 ;;
+esac
+echo "smoke: tile miss built ($SRC1, ETag $ETAG)"
+
+# Replay is a memory hit with the same validator.
+H2="$(curl -sf -D - -o /dev/null "$TILE_URL" | tr -d '\r')"
+echo "$H2" | grep -qi '^X-KDV-Tile-Source: memory$' \
+    || { echo "smoke: replay not served from memory"; echo "$H2"; exit 1; }
+[ "$(echo "$H2" | sed -n 's/^ETag: //Ip')" = "$ETAG" ] \
+    || { echo "smoke: replay changed the ETag"; exit 1; }
+echo "smoke: tile replay hit memory"
+
+# Conditional GET with the current validator: 304, no body.
+CODE="$(curl -s -o "$ART/tile304.body" -w '%{http_code}' \
+    -H "If-None-Match: $ETAG" "$TILE_URL")"
+[ "$CODE" = 304 ] || { echo "smoke: If-None-Match answered $CODE, want 304"; exit 1; }
+[ ! -s "$ART/tile304.body" ] || { echo "smoke: 304 carried a body"; exit 1; }
+echo "smoke: conditional GET answered 304"
+
+curl -sf "$BASE/metrics" | grep -q 'kdv_tiles_hits_total{level="memory"} [1-9]' \
+    || { echo "smoke: kdv_tiles_hits_total not incremented"; exit 1; }
+
+# Restart over the same -tiles-dir: the tile must come back from the disk
+# store byte-identical (same content-derived ETag), not from a rebuild.
+kill "$SRV_PID" && wait "$SRV_PID" 2>/dev/null || true
+"$BIN" -addr "$ADDR" -n 3000 -tiles-dir "$TILES" -tile-size 128 >"$LOG" 2>&1 &
+SRV_PID=$!
+ready=""
+for _ in $(seq 1 120); do
+    code="$(curl -s -o /dev/null -w '%{http_code}' "$BASE/readyz" || true)"
+    if [ "$code" = 200 ]; then ready=1; break; fi
+    kill -0 "$SRV_PID" 2>/dev/null || { echo "smoke: restarted kdvserve died"; cat "$LOG"; exit 1; }
+    sleep 0.5
+done
+[ -n "$ready" ] || { echo "smoke: restarted server never became ready"; cat "$LOG"; exit 1; }
+H3="$(curl -sf -D - -o /dev/null "$TILE_URL" | tr -d '\r')" \
+    || { echo "smoke: tile fetch after restart failed"; cat "$LOG"; exit 1; }
+echo "$H3" | grep -qi '^X-KDV-Tile-Source: disk$' \
+    || { echo "smoke: restarted tile not served from disk"; echo "$H3"; cat "$LOG"; exit 1; }
+[ "$(echo "$H3" | sed -n 's/^ETag: //Ip')" = "$ETAG" ] \
+    || { echo "smoke: ETag changed across restart"; echo "$H3"; exit 1; }
+echo "smoke: restart served the tile from disk with a stable ETag"
 
 # Scale-out scenario: a coordinator fanning /render out over two shard
 # workers must answer complete while both live, then degrade — 200 with a
