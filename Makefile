@@ -23,9 +23,11 @@ race:
 	$(GO) test -race ./...
 
 # verify is the pre-merge gate: compile everything, lint, run the full test
-# suite, then run the guarantee-conformance suite (oracle-differential,
-# bound-dominance, and metamorphic checks) on a small seeded dataset.
-# CI runs this plus the race and fuzz shards.
+# suite — which includes the metrics-drift golden-file gate and the
+# Prometheus text-format parse check (internal/serve TestMetricsGolden /
+# TestPrometheusExpositionParses) — then run the guarantee-conformance
+# suite (oracle-differential, bound-dominance, and metamorphic checks) on a
+# small seeded dataset. CI runs this plus the race and fuzz shards.
 verify: build vet fmt test
 	$(GO) run ./cmd/kdvcheck -dataset crime -n 1200 -seed 7 -res 32x24 \
 		-json results/kdvcheck.json > /dev/null
@@ -47,25 +49,23 @@ fuzz:
 	$(GO) test ./internal/trace -run='^$$' -fuzz='^FuzzParseTraceparent$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/tiles -run='^$$' -fuzz='^FuzzTileRecord$$' -fuzztime=$(FUZZTIME)
 
-# bench regenerates BENCH_PR9.json: the render benchmark (εKDV + τKDV,
+# bench regenerates BENCH_PR10.json: the render benchmark (εKDV + τKDV,
 # crime analogue at 30k points, 256² and 512², tile-shared vs per-pixel),
-# the telemetry- and tracing-overhead deltas against the uninstrumented
-# paths, and the tile-serving tiers (cold engine build vs warm-disk vs
-# warm-memory on 512² XYZ tiles through a real on-disk store).
+# the telemetry-, tracing-, and shadow-audit-overhead deltas against the
+# uninstrumented paths, and the tile-serving tiers (cold engine build vs
+# warm-disk vs warm-memory on 512² XYZ tiles through a real on-disk store).
 bench:
-	$(GO) run ./cmd/kdvbench -json BENCH_PR9.json -jsonn 30000
+	$(GO) run ./cmd/kdvbench -json BENCH_PR10.json -jsonn 30000
 
 # bench-compare is the regression gate: diff the newest checked-in baseline
 # against its predecessor. Deterministic work counters (nodes/pixel) get a
-# 5% budget, wall-clock cells 25%, instrumentation overheads 2% absolute;
-# exits non-zero on any regression. -mintilespeedup additionally requires
-# the new report's warm-disk tile serving to beat its own cold build by
-# ≥10× — the PR9 acceptance claim for the persistent tile store. (The
-# PR5→PR8 flat-engine -minspeedup floor stays checked by that pair of
-# baselines and is not re-applied across PR8→PR9, which changes no engine
-# code.)
+# 5% budget, wall-clock cells 25%, instrumentation overheads 2% absolute —
+# including the PR10 shadow-audit producer hook at its production 1%
+# sampling fraction; exits non-zero on any regression. -mintilespeedup
+# requires the new report's warm-disk tile serving to beat its own cold
+# build by ≥10× — the PR9 acceptance claim, re-checked on the new report.
 bench-compare:
-	$(GO) run ./cmd/kdvbench -compare BENCH_PR8.json -mintilespeedup 10 BENCH_PR9.json
+	$(GO) run ./cmd/kdvbench -compare BENCH_PR9.json -mintilespeedup 10 BENCH_PR10.json
 
 # chaos runs the cluster fault-injection suite under the race detector:
 # seeded fault transport + fake clock drive breaker trips/recovery, hedges

@@ -187,6 +187,15 @@ func compareReports(out io.Writer, oldRep, newRep *jsonReport, minSpeedup, minTi
 			fmt.Fprintf(out, "ok   tracing disabled-path overhead %+.2f%% (budget %.0f%%)\n", o.OffDeltaPct, overheadBudgetPct)
 		}
 	}
+	if o := newRep.AuditOverhead; o != nil {
+		if o.DeltaPct > overheadBudgetPct {
+			fail("audit overhead at %.0f%% fraction %+.2f%% exceeds the %.0f%% budget",
+				o.Fraction*100, o.DeltaPct, overheadBudgetPct)
+		} else {
+			fmt.Fprintf(out, "ok   audit overhead at %.0f%% fraction %+.2f%% (budget %.0f%%)\n",
+				o.Fraction*100, o.DeltaPct, overheadBudgetPct)
+		}
+	}
 	return regressions
 }
 

@@ -4,12 +4,17 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"time"
 
 	quad "github.com/quadkdv/quad"
+	"github.com/quadkdv/quad/internal/audit"
 	"github.com/quadkdv/quad/internal/dataset"
+	"github.com/quadkdv/quad/internal/geom"
+	"github.com/quadkdv/quad/internal/grid"
+	"github.com/quadkdv/quad/internal/telemetry"
 	"github.com/quadkdv/quad/internal/trace"
 )
 
@@ -59,6 +64,133 @@ type jsonReport struct {
 	// warm-disk vs warm-memory on 512² tiles. The PR9 acceptance number is
 	// DiskSpeedup (gated by -mintilespeedup).
 	TileServing *tileServing `json:"tile_serving,omitempty"`
+	// AuditOverhead measures the shadow-audit producer hook on the serving
+	// path — render plus the sampling coin, pixel draw, and job submit — at
+	// the production 1% fraction against the auditless render. The PR10
+	// acceptance number is DeltaPct (must stay ≤ 2%).
+	AuditOverhead *auditOverhead `json:"audit_overhead,omitempty"`
+}
+
+// auditOverhead compares the render-and-maybe-submit path (the exact hook
+// the serve layer runs after each completed render) against the bare
+// render, interleaved best-of-rounds. The forced side submits an audit on
+// every round (fraction 1), bounding what a sampled round costs; the gated
+// number is the production-fraction delta.
+type auditOverhead struct {
+	Res      string  `json:"res"`
+	Rounds   int     `json:"rounds"`
+	Fraction float64 `json:"fraction"`
+	OffMS    float64 `json:"render_ms_audit_off"`
+	OnMS     float64 `json:"render_ms_audit_on"`
+	// DeltaPct is (on − off)/off × 100 at the production fraction — the
+	// gated number.
+	DeltaPct float64 `json:"delta_pct"`
+	// ForcedMS audits every round; ForcedDeltaPct is informational.
+	ForcedMS       float64 `json:"render_ms_audit_forced"`
+	ForcedDeltaPct float64 `json:"forced_delta_pct"`
+}
+
+// auditHook replicates the serve layer's producer hook: flip the sampling
+// coin, and when sampled reconstruct the render's grid, draw the audit
+// pixels, and submit the job with the exact-oracle binding. Everything the
+// request path pays is inside this function; the oracle itself runs on the
+// auditor's background pool.
+func auditHook(a *audit.Auditor, k *quad.KDV, dm *quad.DensityMap, eps float64) error {
+	if !a.ShouldAudit() {
+		return nil
+	}
+	g, err := grid.New(grid.Resolution{W: dm.Res.W, H: dm.Res.H},
+		geom.Rect{Min: dm.WindowMin[:], Max: dm.WindowMax[:]})
+	if err != nil {
+		return err
+	}
+	idx := a.SamplePixels(len(dm.Values))
+	samples := make([]audit.Sample, 0, len(idx))
+	q := make([]float64, 2)
+	scale := 0.0
+	for _, v := range dm.Values {
+		if v > scale {
+			scale = v
+		}
+	}
+	for _, i := range idx {
+		px, py := i%dm.Res.W, i/dm.Res.W
+		g.Query(px, py, q)
+		samples = append(samples, audit.Sample{
+			X: px, Y: py, Q: [2]float64{q[0], q[1]}, Value: dm.Values[i],
+		})
+	}
+	a.Submit(audit.Job{
+		Endpoint: "render",
+		Dataset:  "crime",
+		Method:   quad.MethodQuadratic.String(),
+		Kind:     audit.KindEps,
+		Eps:      eps,
+		Scale:    scale,
+		Samples:  samples,
+		Exact: func(q []float64) float64 {
+			d, err := k.Density(q)
+			if err != nil {
+				return math.NaN()
+			}
+			return d
+		},
+	})
+	return nil
+}
+
+// measureAuditOverhead interleaves rounds of the three paths — bare render,
+// render + production-fraction hook, render + forced hook — and keeps each
+// side's best time.
+func measureAuditOverhead(k *quad.KDV, res quad.Resolution, eps float64, rounds int) (*auditOverhead, error) {
+	const fraction = 0.01
+	sampled := audit.New(audit.Config{Fraction: fraction, Seed: 1, Registry: telemetry.NewRegistry()})
+	forced := audit.New(audit.Config{Fraction: 1, Seed: 1, Registry: telemetry.NewRegistry()})
+	defer sampled.Close()
+	defer forced.Close()
+
+	best := func(cur, v float64) float64 {
+		if cur == 0 || v < cur {
+			return v
+		}
+		return cur
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+	o := &auditOverhead{Res: res.String(), Rounds: rounds, Fraction: fraction}
+	render := func(a *audit.Auditor, slot *float64) error {
+		start := time.Now()
+		dm, err := k.RenderEps(res, eps)
+		if err != nil {
+			return err
+		}
+		if a != nil {
+			if err := auditHook(a, k, dm, eps); err != nil {
+				dm.Release()
+				return err
+			}
+		}
+		elapsed := time.Since(start)
+		dm.Release()
+		*slot = best(*slot, ms(elapsed))
+		return nil
+	}
+	sides := []func() error{
+		func() error { return render(nil, &o.OffMS) },
+		func() error { return render(sampled, &o.OnMS) },
+		func() error { return render(forced, &o.ForcedMS) },
+	}
+	// Rotate which side goes first each round — see measureTelemetryOverhead
+	// for why a fixed order biases the deltas under sustained load.
+	for i := 0; i < rounds; i++ {
+		for j := range sides {
+			if err := sides[(i+j)%len(sides)](); err != nil {
+				return nil, err
+			}
+		}
+	}
+	o.DeltaPct = (o.OnMS - o.OffMS) / o.OffMS * 100
+	o.ForcedDeltaPct = (o.ForcedMS - o.OffMS) / o.OffMS * 100
+	return o, nil
 }
 
 // telemetryOverhead compares the plain render entry point (nil stats
@@ -339,6 +471,13 @@ func runJSONBench(path string, seed int64, n int) error {
 	rep.TileServing = ts
 	fmt.Printf("tile serving @ %d×%d²: cold %.1f ms, disk %.1f ms (%.0fx), memory %.1f ms (%.0fx)\n",
 		ts.Tiles, ts.TileSize, ts.ColdBuildMS, ts.WarmDiskMS, ts.DiskSpeedup, ts.WarmMemoryMS, ts.MemorySpeedup)
+	ao, err := measureAuditOverhead(tiled, quad.Resolution{W: 512, H: 512}, eps, 6)
+	if err != nil {
+		return err
+	}
+	rep.AuditOverhead = ao
+	fmt.Printf("audit overhead @ %s: off %.1f ms, on@%.0f%% %.1f ms (%+.2f%%), forced %.1f ms (%+.2f%%)\n",
+		ao.Res, ao.OffMS, ao.Fraction*100, ao.OnMS, ao.DeltaPct, ao.ForcedMS, ao.ForcedDeltaPct)
 
 	if err := writeJSON(path, &rep); err != nil {
 		return err

@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -26,6 +27,7 @@ import (
 
 	"github.com/quadkdv/quad/internal/grid"
 	"github.com/quadkdv/quad/internal/harness"
+	"github.com/quadkdv/quad/internal/logging"
 	"github.com/quadkdv/quad/internal/telemetry"
 )
 
@@ -47,10 +49,11 @@ func main() {
 		pprof          = flag.String("pprof-addr", "", "side listener for net/http/pprof and expvar (empty disables)")
 	)
 	flag.Parse()
+	logger := logging.Setup("kdvbench", nil)
 
 	if *compare != "" {
 		if flag.NArg() != 1 {
-			fmt.Fprintln(os.Stderr, "kdvbench: -compare old.json new.json (exactly one positional argument)")
+			logger.Error("-compare old.json new.json (exactly one positional argument)")
 			os.Exit(2)
 		}
 		if err := runCompare(*compare, flag.Arg(0), *minSpeedup, *minTileSpeedup); err != nil {
@@ -60,11 +63,13 @@ func main() {
 	}
 
 	if *pprof != "" {
-		bound, err := telemetry.StartDebug(*pprof, nil)
+		reg := telemetry.NewRegistry()
+		telemetry.RegisterRuntimeMetrics(reg)
+		bound, err := telemetry.StartDebug(*pprof, reg)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "kdvbench: debug listener on %s\n", bound)
+		logger.Info("debug listener up", "addr", bound)
 	}
 
 	if *jsonPath != "" {
@@ -80,7 +85,7 @@ func main() {
 		return
 	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "kdvbench: -exp required (use -list to enumerate, or 'all')")
+		logger.Error("-exp required (use -list to enumerate, or 'all')")
 		os.Exit(2)
 	}
 
@@ -167,6 +172,6 @@ func parseSizes(s string, into map[string]int) error {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "kdvbench:", err)
+	slog.Error("fatal", "error", err)
 	os.Exit(1)
 }

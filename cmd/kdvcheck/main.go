@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -23,6 +24,7 @@ import (
 	"github.com/quadkdv/quad/internal/geom"
 	"github.com/quadkdv/quad/internal/grid"
 	"github.com/quadkdv/quad/internal/kernel"
+	"github.com/quadkdv/quad/internal/logging"
 	"github.com/quadkdv/quad/internal/telemetry"
 )
 
@@ -54,13 +56,16 @@ func run(args []string, stdout, stderr *os.File) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	logger := logging.Setup("kdvcheck", stderr)
 	if *pprof != "" {
-		bound, err := telemetry.StartDebug(*pprof, nil)
+		reg := telemetry.NewRegistry()
+		telemetry.RegisterRuntimeMetrics(reg)
+		bound, err := telemetry.StartDebug(*pprof, reg)
 		if err != nil {
-			fmt.Fprintf(stderr, "kdvcheck: pprof listener: %v\n", err)
+			logger.Error("pprof listener failed", "error", err)
 			return 1
 		}
-		fmt.Fprintf(stderr, "kdvcheck: debug listener on %s\n", bound)
+		logger.Info("debug listener up", "addr", bound)
 	}
 
 	cfg := conformance.Config{
@@ -76,48 +81,48 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	var err error
 	if cfg.Res, err = parseRes(*res); err != nil {
-		return fail(stderr, err)
+		return fail(logger, err)
 	}
 	if cfg.TileSizes, err = parseInts(*tiles); err != nil {
-		return fail(stderr, fmt.Errorf("bad -tiles: %w", err))
+		return fail(logger, fmt.Errorf("bad -tiles: %w", err))
 	}
 	if cfg.Kernels, err = parseKernels(*kernels); err != nil {
-		return fail(stderr, err)
+		return fail(logger, err)
 	}
 	if cfg.Methods, err = parseMethods(*methods); err != nil {
-		return fail(stderr, err)
+		return fail(logger, err)
 	}
 	if cfg.Pts, cfg.Name, err = loadPoints(*csvPath, *dsName, *n, *seed); err != nil {
-		return fail(stderr, err)
+		return fail(logger, err)
 	}
 
 	rep, err := conformance.Run(cfg)
 	if err != nil {
-		return fail(stderr, err)
+		return fail(logger, err)
 	}
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
-		return fail(stderr, err)
+		return fail(logger, err)
 	}
 	if *jsonPath != "" {
 		if err := writeReport(*jsonPath, rep); err != nil {
-			return fail(stderr, err)
+			return fail(logger, err)
 		}
 	}
 	if !rep.Pass {
 		for _, c := range rep.Failures() {
-			fmt.Fprintf(stderr, "kdvcheck: FAIL %s: %s\n", c.Name, c.Detail)
+			logger.Error("check failed", "check", c.Name, "detail", c.Detail)
 		}
-		fmt.Fprintf(stderr, "kdvcheck: %d/%d checks failed\n", rep.Failed, len(rep.Checks))
+		logger.Error("conformance suite failed", "failed", rep.Failed, "checks", len(rep.Checks))
 		return 1
 	}
-	fmt.Fprintf(stderr, "kdvcheck: %d checks passed on %s (n=%d)\n", rep.Passed, rep.Dataset, rep.N)
+	logger.Info("conformance suite passed", "passed", rep.Passed, "dataset", rep.Dataset, "n", rep.N)
 	return 0
 }
 
-func fail(stderr *os.File, err error) int {
-	fmt.Fprintf(stderr, "kdvcheck: %v\n", err)
+func fail(logger *slog.Logger, err error) int {
+	logger.Error("fatal", "error", err)
 	return 2
 }
 

@@ -9,11 +9,12 @@ package main
 
 import (
 	"flag"
-	"fmt"
+	"log/slog"
 	"os"
 
 	"github.com/quadkdv/quad/internal/dataset"
 	"github.com/quadkdv/quad/internal/geom"
+	"github.com/quadkdv/quad/internal/logging"
 	"github.com/quadkdv/quad/internal/telemetry"
 )
 
@@ -27,15 +28,18 @@ func main() {
 		pprof = flag.String("pprof-addr", "", "side listener for net/http/pprof and expvar (empty disables)")
 	)
 	flag.Parse()
+	logger := logging.Setup("kdvgen", nil)
 	if *pprof != "" {
-		bound, err := telemetry.StartDebug(*pprof, nil)
+		reg := telemetry.NewRegistry()
+		telemetry.RegisterRuntimeMetrics(reg)
+		bound, err := telemetry.StartDebug(*pprof, reg)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "kdvgen: debug listener on %s\n", bound)
+		logger.Info("debug listener up", "addr", bound)
 	}
 	if *name == "" {
-		fmt.Fprintln(os.Stderr, "kdvgen: -name required (elnino|crime|home|hep)")
+		logger.Error("-name required (elnino|crime|home|hep)")
 		os.Exit(2)
 	}
 
@@ -57,7 +61,7 @@ func main() {
 	if err := dataset.SaveFile(path, pts); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "kdvgen: wrote %d %d-d points to %s\n", pts.Len(), pts.Dim, path)
+	logger.Info("dataset written", "points", pts.Len(), "dims", pts.Dim, "out", path)
 }
 
 func sizeOf(name string, n int) int {
@@ -68,6 +72,6 @@ func sizeOf(name string, n int) int {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "kdvgen:", err)
+	slog.Error("fatal", "error", err)
 	os.Exit(1)
 }

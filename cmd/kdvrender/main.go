@@ -15,6 +15,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -22,6 +23,7 @@ import (
 
 	quad "github.com/quadkdv/quad"
 	"github.com/quadkdv/quad/internal/dataset"
+	"github.com/quadkdv/quad/internal/logging"
 	"github.com/quadkdv/quad/internal/telemetry"
 	"github.com/quadkdv/quad/internal/trace"
 )
@@ -47,13 +49,16 @@ func main() {
 		traceOut = flag.String("trace", "", "write the render's spans as a Chrome trace-event JSON file (load in Perfetto or chrome://tracing)")
 	)
 	flag.Parse()
+	logger := logging.Setup("kdvrender", nil)
 
 	if *pprof != "" {
-		bound, err := telemetry.StartDebug(*pprof, nil)
+		reg := telemetry.NewRegistry()
+		telemetry.RegisterRuntimeMetrics(reg)
+		bound, err := telemetry.StartDebug(*pprof, reg)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "kdvrender: debug listener on %s\n", bound)
+		logger.Info("debug listener up", "addr", bound)
 	}
 	pts, err := loadPoints(*dataPath, *gen, *n, *seed)
 	if err != nil {
@@ -79,7 +84,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "kdvrender: %d points, kernel=%s method=%s γ=%.4g\n", k.Len(), kern, m, k.Gamma())
+	logger.Info("dataset ready", "points", k.Len(), "kernel", kern.String(), "method", m.String(), "gamma", k.Gamma())
 
 	var layer quad.WorkMapLayer
 	if *workmapF != "" {
@@ -124,8 +129,8 @@ func main() {
 		if err := hm.SavePNG(*out); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "kdvrender: τ=%.4g, %.1f%% hot, %s → %s\n",
-			tau, hm.HotFraction()*100, time.Since(start).Round(time.Millisecond), *out)
+		logger.Info("tau render done", "tau", tau, "hot_fraction", hm.HotFraction(),
+			"elapsed", time.Since(start).Round(time.Millisecond).String(), "out", *out)
 	case *progress > 0:
 		// Streaming form so a trace decomposes the run into per-level spans.
 		r, err := k.RenderProgressiveStreamCtx(ctx, res, *eps, *progress, func(quad.Snapshot) bool { return true })
@@ -135,8 +140,8 @@ func main() {
 		if err := r.Map.SavePNG(*out, *logScale); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "kdvrender: progressive %d/%d pixels in %s → %s\n",
-			r.Evaluated, res.W*res.H, r.Elapsed.Round(time.Millisecond), *out)
+		logger.Info("progressive render done", "evaluated", r.Evaluated, "pixels", res.W*res.H,
+			"elapsed", r.Elapsed.Round(time.Millisecond).String(), "out", *out)
 	default:
 		var dm *quad.DensityMap
 		if layer != "" {
@@ -154,15 +159,15 @@ func main() {
 		if err := dm.SavePNG(*out, *logScale); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "kdvrender: ε=%.3g render in %s → %s\n",
-			*eps, time.Since(start).Round(time.Millisecond), *out)
+		logger.Info("eps render done", "eps", *eps,
+			"elapsed", time.Since(start).Round(time.Millisecond).String(), "out", *out)
 	}
 	if tr != nil {
 		if err := saveTrace(tr, *traceOut); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "kdvrender: %d spans → %s (open in Perfetto or chrome://tracing)\n",
-			len(tr.Spans()), *traceOut)
+		logger.Info("trace written (open in Perfetto or chrome://tracing)",
+			"spans", len(tr.Spans()), "out", *traceOut)
 	}
 }
 
@@ -173,8 +178,7 @@ func saveWorkMap(wm *quad.WorkMap, layer quad.WorkMapLayer, path string) error {
 		return err
 	}
 	depth, evals, gap := wm.Totals()
-	fmt.Fprintf(os.Stderr, "kdvrender: work map (%s) pops=%d evals=%d Σgap=%.3g → %s\n",
-		layer, depth, evals, gap, path)
+	slog.Info("work map written", "layer", string(layer), "pops", depth, "evals", evals, "gap_sum", gap, "out", path)
 	return nil
 }
 
@@ -280,6 +284,6 @@ func parseRes(s string) (quad.Resolution, error) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "kdvrender:", err)
+	slog.Error("fatal", "error", err)
 	os.Exit(1)
 }

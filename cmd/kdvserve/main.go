@@ -27,6 +27,16 @@
 // traced. -enable-workmap exposes GET /debug/workmap, serving the
 // per-pixel work rasters (refinement depth, node evals, bound gap) as PNG.
 //
+// Accuracy auditing: a shadow auditor samples -audit-fraction of completed
+// renders (default 1%) and recomputes -audit-pixels random pixels against
+// the exact oracle on a background pool bounded by -audit-budget, checking
+// the served values against the advertised ε/τ guarantees — including
+// degraded k-of-n cluster merges, audited against the partial-sum oracle.
+// Violations log, count in kdv_audit_violations_total, and surface in
+// GET /debug/ops, the one-call JSON ops snapshot (build, readiness,
+// caches, breakers, audit state, SLO burn rates). All logs are JSON lines
+// via log/slog.
+//
 // Scale-out: the same binary runs as a shard worker or a fan-out
 // coordinator. `kdvserve -worker -addr :8081` serves the internal
 // shard-render API; `kdvserve -workers host:8081,host:8082` makes /render a
@@ -41,7 +51,7 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -51,6 +61,7 @@ import (
 	"time"
 
 	"github.com/quadkdv/quad/internal/cluster"
+	"github.com/quadkdv/quad/internal/logging"
 	"github.com/quadkdv/quad/internal/serve"
 	"github.com/quadkdv/quad/internal/telemetry"
 )
@@ -76,6 +87,9 @@ func run() int {
 		tilesDir        = flag.String("tiles-dir", "", "directory for the persistent XYZ tile store (empty keeps /tiles memory-only)")
 		tileSize        = flag.Int("tile-size", 256, "tile edge in pixels for /tiles (power of two in [64, 1024])")
 		warmZooms       = flag.String("warm-zooms", "", "comma-separated zoom levels of the default tile pyramid to precompute at boot (e.g. 0,1,2; empty disables)")
+		auditFraction   = flag.Float64("audit-fraction", 0, "fraction of completed renders shadow-audited against the exact oracle (0 = default 0.01, negative disables)")
+		auditPixels     = flag.Int("audit-pixels", 0, "random pixels recomputed per audited render (0 = default 8)")
+		auditBudget     = flag.Int("audit-budget", 0, "audit queue budget; over-budget audits are dropped, never blocking (0 = default 64)")
 
 		workerMode      = flag.Bool("worker", false, "run as a shard-render worker (internal API only) instead of the public server")
 		workers         = flag.String("workers", "", "comma-separated worker addresses (host:port); makes /render a sharded fan-out coordinator")
@@ -86,13 +100,14 @@ func run() int {
 		breakerCooldown = flag.Duration("breaker-cooldown", 5*time.Second, "how long a tripped worker circuit breaker stays open before probing")
 	)
 	flag.Parse()
+	logger := logging.Setup("kdvserve", nil)
 
 	if *workerMode && *workers != "" {
-		log.Printf("kdvserve: -worker and -workers are mutually exclusive")
+		logger.Error("-worker and -workers are mutually exclusive")
 		return 2
 	}
 	if *workerMode {
-		return runWorker(*addr, *shutdownTimeout, *pprofAddr, *traceLog)
+		return runWorker(logger, *addr, *shutdownTimeout, *pprofAddr, *traceLog)
 	}
 
 	cfg := serve.Config{
@@ -106,12 +121,16 @@ func run() int {
 		EnableWorkMap:  *enableWorkMap,
 		TilesDir:       *tilesDir,
 		TileSize:       *tileSize,
+		AuditFraction:  *auditFraction,
+		AuditPixels:    *auditPixels,
+		AuditBudget:    *auditBudget,
+		Logger:         logger,
 	}
 	if *warmZooms != "" {
 		for _, part := range strings.Split(*warmZooms, ",") {
 			z, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil || z < 0 {
-				log.Printf("kdvserve: bad -warm-zooms entry %q", part)
+				logger.Error("bad -warm-zooms entry", "entry", part)
 				return 2
 			}
 			cfg.WarmZooms = append(cfg.WarmZooms, z)
@@ -124,7 +143,7 @@ func run() int {
 	default:
 		f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
-			log.Printf("kdvserve: trace log: %v", err)
+			logger.Error("trace log open failed", "path", *traceLog, "error", err)
 			return 1
 		}
 		defer f.Close()
@@ -141,13 +160,14 @@ func run() int {
 			Breaker:     cluster.BreakerConfig{Cooldown: *breakerCooldown},
 		}, reg)
 		if err != nil {
-			log.Printf("kdvserve: coordinator: %v", err)
+			logger.Error("coordinator construction failed", "error", err)
 			return 1
 		}
 		cfg.Registry = reg
 		cfg.Cluster = coord
-		log.Printf("kdvserve: coordinating %d workers, %d shards (replicas=%d, attempts=%d)",
-			len(coord.Workers()), coord.Shards(), *shardReplicas, *shardAttempts)
+		logger.Info("coordinating workers",
+			"workers", len(coord.Workers()), "shards", coord.Shards(),
+			"replicas", *shardReplicas, "attempts", *shardAttempts)
 	}
 	s := serve.NewServerWith(cfg)
 	defer s.Close()
@@ -160,10 +180,10 @@ func run() int {
 	if *pprofAddr != "" {
 		bound, err := telemetry.StartDebug(*pprofAddr, s.Registry())
 		if err != nil {
-			log.Printf("kdvserve: pprof listener: %v", err)
+			logger.Error("pprof listener failed", "error", err)
 			return 1
 		}
-		log.Printf("kdvserve: debug listener on %s (pprof, expvar, metrics)", bound)
+		logger.Info("debug listener up", "addr", bound)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -173,41 +193,42 @@ func run() int {
 	// without waiting for the first probe to trigger it.
 	go func() {
 		if err := s.Warmup(context.Background()); err != nil {
-			log.Printf("kdvserve: warmup: %v", err)
+			logger.Error("warmup failed", "error", err)
 		}
 	}()
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("kdvserve: listening on %s (default n=%d, request timeout %s)", *addr, s.DefaultN, *requestTimeout)
+	logger.Info("listening", "addr", *addr, "default_n", s.DefaultN,
+		"request_timeout", requestTimeout.String(), "audit_fraction", *auditFraction)
 
 	select {
 	case err := <-errc:
 		// The listener failed before any shutdown signal.
-		log.Printf("kdvserve: %v", err)
+		logger.Error("listener failed", "error", err)
 		return 1
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("kdvserve: shutdown signal received, draining for up to %s", *shutdownTimeout)
+	logger.Info("shutdown signal received, draining", "timeout", shutdownTimeout.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
-		log.Printf("kdvserve: drain incomplete: %v", err)
+		logger.Error("drain incomplete", "error", err)
 		_ = srv.Close()
 		return 1
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("kdvserve: %v", err)
+		logger.Error("server error", "error", err)
 		return 1
 	}
-	log.Printf("kdvserve: drained, exiting cleanly")
+	logger.Info("drained, exiting cleanly")
 	return 0
 }
 
 // runWorker serves the internal shard-render API: the same binary, pointed
 // at by a coordinator's -workers list.
-func runWorker(addr string, shutdownTimeout time.Duration, pprofAddr, traceLog string) int {
+func runWorker(logger *slog.Logger, addr string, shutdownTimeout time.Duration, pprofAddr, traceLog string) int {
 	wcfg := cluster.WorkerConfig{}
 	switch traceLog {
 	case "":
@@ -216,13 +237,14 @@ func runWorker(addr string, shutdownTimeout time.Duration, pprofAddr, traceLog s
 	default:
 		f, err := os.OpenFile(traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
-			log.Printf("kdvserve: trace log: %v", err)
+			logger.Error("trace log open failed", "path", traceLog, "error", err)
 			return 1
 		}
 		defer f.Close()
 		wcfg.TraceLog = f
 	}
 	w := cluster.NewWorker(wcfg)
+	telemetry.RegisterRuntimeMetrics(w.Registry())
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           w.Handler(),
@@ -231,37 +253,37 @@ func runWorker(addr string, shutdownTimeout time.Duration, pprofAddr, traceLog s
 	if pprofAddr != "" {
 		bound, err := telemetry.StartDebug(pprofAddr, w.Registry())
 		if err != nil {
-			log.Printf("kdvserve: pprof listener: %v", err)
+			logger.Error("pprof listener failed", "error", err)
 			return 1
 		}
-		log.Printf("kdvserve: debug listener on %s (pprof, expvar, metrics)", bound)
+		logger.Info("debug listener up", "addr", bound)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("kdvserve: worker listening on %s (%s)", addr, cluster.ShardRenderPath)
+	logger.Info("worker listening", "addr", addr, "path", cluster.ShardRenderPath)
 
 	select {
 	case err := <-errc:
-		log.Printf("kdvserve: %v", err)
+		logger.Error("listener failed", "error", err)
 		return 1
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("kdvserve: worker shutdown signal received, draining for up to %s", shutdownTimeout)
+	logger.Info("worker shutdown signal received, draining", "timeout", shutdownTimeout.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
-		log.Printf("kdvserve: drain incomplete: %v", err)
+		logger.Error("drain incomplete", "error", err)
 		_ = srv.Close()
 		return 1
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("kdvserve: %v", err)
+		logger.Error("server error", "error", err)
 		return 1
 	}
-	log.Printf("kdvserve: worker drained, exiting cleanly")
+	logger.Info("worker drained, exiting cleanly")
 	return 0
 }

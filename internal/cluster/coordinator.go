@@ -118,6 +118,10 @@ type RenderResult struct {
 	LiveShards           int
 	TotalShards          int
 	Complete             bool
+	// Live lists the shard indices that contributed to Values, ascending.
+	// A degraded merge's ground truth is the partial-sum oracle over
+	// exactly these shards (quad.KDV.OraclePartial).
+	Live []int
 }
 
 // ShardsHeader formats the k/n degraded-mode header value.
@@ -285,6 +289,7 @@ func (c *Coordinator) RenderEps(ctx context.Context, req RenderRequest) (*Render
 			merged.Values[i] += v
 		}
 		addStats(&merged.Stats, r.stats)
+		merged.Live = append(merged.Live, shard)
 		merged.LiveShards++
 	}
 	merged.Complete = merged.LiveShards == merged.TotalShards

@@ -26,7 +26,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
@@ -292,7 +292,7 @@ func (w *Worker) handleShardRender(rw http.ResponseWriter, r *http.Request) {
 		if tr != nil && w.cfg.TraceLog != nil {
 			w.traceMu.Lock()
 			if err := trace.WriteJSONL(w.cfg.TraceLog, tr.Spans()); err != nil {
-				log.Printf("cluster: worker trace export: %v", err)
+				slog.Error("worker trace export failed", "component", "cluster", "error", err)
 			}
 			w.traceMu.Unlock()
 		}

@@ -1,0 +1,26 @@
+// Package logging installs the process-wide structured logger every kdv
+// binary shares: one JSON object per line on stderr via log/slog, tagged
+// with the component name. Uniform keys (component, error, and the serving
+// layer's request_id/trace_id/dataset) make the five binaries' logs
+// joinable by the same tooling that reads the slow-query and violation
+// lines.
+package logging
+
+import (
+	"io"
+	"log/slog"
+	"os"
+)
+
+// Setup builds the component's JSON logger on w (os.Stderr when nil),
+// installs it as both the slog default and the legacy log package's output
+// (so stray log.Printf calls in dependencies still come out as structured
+// lines), and returns it.
+func Setup(component string, w io.Writer) *slog.Logger {
+	if w == nil {
+		w = os.Stderr
+	}
+	l := slog.New(slog.NewJSONHandler(w, nil)).With(slog.String("component", component))
+	slog.SetDefault(l)
+	return l
+}

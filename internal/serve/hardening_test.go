@@ -499,7 +499,9 @@ func TestZOrderEpsInCacheKey(t *testing.T) {
 // TestPanicRecoveryMiddleware: a panicking handler becomes a structured
 // 500, not a crashed connection.
 func TestPanicRecoveryMiddleware(t *testing.T) {
-	h := recoverJSON(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	s := NewServerWith(Config{DefaultN: 2000})
+	defer s.Close()
+	h := s.recoverJSON(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		panic("kaboom")
 	}))
 	rec := httptest.NewRecorder()

@@ -3,7 +3,6 @@ package serve
 import (
 	"context"
 	"encoding/json"
-	"log"
 	"net/http"
 	"time"
 
@@ -152,7 +151,7 @@ func (s *Server) logSlowQuery(w http.ResponseWriter, r *http.Request, status int
 	}
 	line, err := json.Marshal(entry)
 	if err != nil {
-		log.Printf("serve: slow-query marshal: %v", err)
+		s.log.Error("slow-query marshal failed", "request_id", entry.RequestID, "error", err)
 		return
 	}
 	line = append(line, '\n')

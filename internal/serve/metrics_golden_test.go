@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// -update regenerates testdata/metrics_families.golden from the live
+// registry: go test ./internal/serve -run TestMetricsGolden -update
+var updateGolden = flag.Bool("update", false, "rewrite the metrics golden file")
+
+const goldenPath = "testdata/metrics_families.golden"
+
+// scrapeFresh renders the Prometheus exposition of a freshly constructed
+// server. Every family is registered eagerly at construction, so this is
+// the server's complete metric surface.
+func scrapeFresh(t *testing.T) []byte {
+	t.Helper()
+	s := NewServer()
+	t.Cleanup(func() { s.Close() })
+	var buf bytes.Buffer
+	if err := s.Registry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// familyLines extracts the sorted "name kind help" drift surface from an
+// exposition: one line per family, joining its TYPE and HELP declarations.
+func familyLines(exposition []byte) []string {
+	helps := map[string]string{}
+	var fams []string
+	for _, line := range strings.Split(string(exposition), "\n") {
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, help, _ := strings.Cut(rest, " ")
+			helps[name] = help
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, kind, _ := strings.Cut(rest, " ")
+			fams = append(fams, name+" "+kind+" "+helps[name])
+		}
+	}
+	sort.Strings(fams)
+	return fams
+}
+
+// TestMetricsGolden is the drift gate: the set of exported metric families
+// (name, type, and help text) must match the checked-in golden file. A rename, removal,
+// or type change of any metric breaks dashboards and alerts silently — this
+// test makes the break loud and reviewable. Intentional changes regenerate
+// the file with -update.
+func TestMetricsGolden(t *testing.T) {
+	got := strings.Join(familyLines(scrapeFresh(t)), "\n") + "\n"
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("metric families drifted from %s (intentional? rerun with -update):\n%s",
+			goldenPath, diffLines(string(want), got))
+	}
+}
+
+// diffLines reports the set difference between two newline-joined lists.
+func diffLines(want, got string) string {
+	w := map[string]bool{}
+	for _, l := range strings.Split(strings.TrimSpace(want), "\n") {
+		w[l] = true
+	}
+	g := map[string]bool{}
+	for _, l := range strings.Split(strings.TrimSpace(got), "\n") {
+		g[l] = true
+	}
+	var b strings.Builder
+	for l := range w {
+		if !g[l] {
+			fmt.Fprintf(&b, "  - %s\n", l)
+		}
+	}
+	for l := range g {
+		if !w[l] {
+			fmt.Fprintf(&b, "  + %s\n", l)
+		}
+	}
+	return b.String()
+}
+
+var (
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})? (NaN|[+-]Inf|[-+]?[0-9][0-9eE.+-]*)$`)
+	labelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\\\|\\"|\\n)*"$`)
+)
+
+// TestPrometheusExpositionParses validates the scrape against the text
+// exposition format (version 0.0.4) the way a real Prometheus server would:
+// every sample line must parse, carry well-formed labels, and belong to a
+// declared family whose TYPE admits its suffix; every histogram's +Inf
+// bucket must equal its _count.
+func TestPrometheusExpositionParses(t *testing.T) {
+	exposition := scrapeFresh(t)
+	kinds := map[string]string{} // family name → TYPE
+	infBucket := map[string]string{}
+	counts := map[string]string{}
+	for i, line := range strings.Split(strings.TrimRight(string(exposition), "\n"), "\n") {
+		switch {
+		case line == "":
+			t.Fatalf("line %d: blank line in exposition", i+1)
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: HELP without text: %q", i+1, line)
+			}
+			if _, seen := kinds[name]; seen {
+				t.Fatalf("line %d: HELP for %s after its TYPE", i+1, name)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", i+1, line)
+			}
+			name, kind := fields[0], fields[1]
+			if kind != "counter" && kind != "gauge" && kind != "histogram" {
+				t.Fatalf("line %d: unknown TYPE %q for %s", i+1, kind, name)
+			}
+			if _, dup := kinds[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", i+1, name)
+			}
+			kinds[name] = kind
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unknown comment: %q", i+1, line)
+		default:
+			m := sampleRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: unparseable sample: %q", i+1, line)
+			}
+			name, labels, value := m[1], m[2], m[3]
+			if labels != "" {
+				for _, pair := range splitLabels(labels) {
+					if !labelRe.MatchString(pair) {
+						t.Fatalf("line %d: malformed label %q in %q", i+1, pair, line)
+					}
+				}
+			}
+			fam, suffix := name, ""
+			for _, s := range []string{"_bucket", "_sum", "_count"} {
+				if base := strings.TrimSuffix(name, s); base != name && kinds[base] == "histogram" {
+					fam, suffix = base, s
+					break
+				}
+			}
+			kind, declared := kinds[fam]
+			if !declared {
+				t.Fatalf("line %d: sample %s has no TYPE declaration", i+1, name)
+			}
+			if kind == "histogram" && suffix == "" {
+				t.Fatalf("line %d: bare sample %s for histogram family", i+1, name)
+			}
+			if kind != "histogram" && suffix != "" {
+				t.Fatalf("line %d: histogram suffix on %s family %s", i+1, kind, fam)
+			}
+			series := fam + "{" + stripLe(labels) + "}"
+			if suffix == "_bucket" && strings.Contains(labels, `le="+Inf"`) {
+				infBucket[series] = value
+			}
+			if suffix == "_count" {
+				counts[series] = value
+			}
+			if kind == "counter" || suffix == "_bucket" || suffix == "_count" {
+				if _, err := strconv.ParseUint(value, 10, 64); err != nil {
+					t.Fatalf("line %d: non-integer cumulative value %q: %q", i+1, value, line)
+				}
+			}
+		}
+	}
+	if len(kinds) == 0 {
+		t.Fatal("exposition declared no families")
+	}
+	for series, count := range counts {
+		if inf, ok := infBucket[series]; !ok {
+			t.Errorf("histogram %s has no +Inf bucket", series)
+		} else if inf != count {
+			t.Errorf("histogram %s: +Inf bucket %s != count %s", series, inf, count)
+		}
+	}
+}
+
+// splitLabels splits a label body on commas outside quoted values.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// stripLe removes the le bucket label so bucket and count lines of one
+// series key identically.
+func stripLe(labels string) string {
+	var kept []string
+	for _, pair := range splitLabels(labels) {
+		if !strings.HasPrefix(pair, `le="`) {
+			kept = append(kept, pair)
+		}
+	}
+	return strings.Join(kept, ",")
+}

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"net/http"
 	"runtime/debug"
 	"strconv"
@@ -56,15 +55,20 @@ func requestError(w http.ResponseWriter, r *http.Request, err error) {
 // recoverJSON converts a handler panic into a 500 JSON response instead of
 // letting it kill the connection (and, for panics on the main serve
 // goroutine of custom servers, the process).
-func recoverJSON(next http.Handler) http.Handler {
+func (s *Server) recoverJSON(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if rec := recover(); rec != nil {
 				if rec == http.ErrAbortHandler {
 					panic(rec)
 				}
-				log.Printf("serve: panic in %s %s (request_id=%s trace_id=%s): %v\n%s",
-					r.Method, r.URL.Path, responseID(w), responseTraceID(w), rec, debug.Stack())
+				s.log.Error("panic in handler",
+					"method", r.Method,
+					"path", r.URL.Path,
+					"request_id", responseID(w),
+					"trace_id", responseTraceID(w),
+					"panic", fmt.Sprint(rec),
+					"stack", string(debug.Stack()))
 				writeError(w, http.StatusInternalServerError, "internal error: %v", rec)
 			}
 		}()

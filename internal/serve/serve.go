@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"net/url"
@@ -47,6 +48,7 @@ import (
 	"time"
 
 	quad "github.com/quadkdv/quad"
+	"github.com/quadkdv/quad/internal/audit"
 	"github.com/quadkdv/quad/internal/cluster"
 	"github.com/quadkdv/quad/internal/dataset"
 	"github.com/quadkdv/quad/internal/grid"
@@ -125,6 +127,26 @@ type Config struct {
 	// precomputes (e.g. [0, 1, 2] renders 1+4+16 tiles). Empty skips tile
 	// warmup.
 	WarmZooms []int
+	// AuditFraction is the fraction of completed renders re-checked by the
+	// shadow accuracy auditor (0 selects the default 0.01; negative
+	// disables auditing entirely). For each sampled render a few random
+	// pixels are recomputed with the exact Kahan oracle on a background
+	// pool and checked against the advertised ε/τ guarantee.
+	AuditFraction float64
+	// AuditPixels is the number of random pixels recomputed per audited
+	// render (default 8).
+	AuditPixels int
+	// AuditBudget caps the audit queue; over-budget audits are dropped and
+	// counted, never blocking the serving path (default 64).
+	AuditBudget int
+	// AuditHardFail latches the auditor into a failed state on the first
+	// violation — the mode test harnesses assert on (see /debug/ops).
+	AuditHardFail bool
+	// AuditSeed fixes the audit sampling stream (0 picks a fixed default).
+	AuditSeed int64
+	// Logger receives the server's structured logs (default
+	// slog.Default()).
+	Logger *slog.Logger
 	// Cluster, when set, turns this server into a fan-out coordinator:
 	// /render requests with a shardable method (anything but zorder) are
 	// partitioned by data shard across the coordinator's workers and the
@@ -165,6 +187,17 @@ func (c Config) withDefaults() Config {
 	if c.SlowQueryLog == nil {
 		c.SlowQueryLog = os.Stderr
 	}
+	switch {
+	case c.AuditFraction == 0:
+		c.AuditFraction = 0.01
+	case c.AuditFraction < 0:
+		c.AuditFraction = 0
+	case c.AuditFraction > 1:
+		c.AuditFraction = 1
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
 	return c
 }
 
@@ -191,6 +224,10 @@ type Server struct {
 
 	reg       *telemetry.Registry
 	m         *metrics
+	auditor   *audit.Auditor
+	slo       *telemetry.SLO
+	log       *slog.Logger
+	start     time.Time
 	warmState atomic.Int32
 	slowMu    sync.Mutex
 	traceMu   sync.Mutex
@@ -236,17 +273,36 @@ func NewServerWith(cfg Config) *Server {
 	if cfg.TilesDir != "" {
 		s.tileStore = tiles.OpenStore(cfg.TilesDir, s.tileM)
 	}
+	s.log = cfg.Logger
+	s.start = time.Now()
+	s.auditor = audit.New(audit.Config{
+		Fraction: cfg.AuditFraction,
+		Pixels:   cfg.AuditPixels,
+		Budget:   cfg.AuditBudget,
+		HardFail: cfg.AuditHardFail,
+		Seed:     cfg.AuditSeed,
+		Registry: reg,
+		Logger:   s.log,
+	})
+	telemetry.RegisterRuntimeMetrics(reg)
+	s.initSLO(reg)
 	return s
 }
 
-// Close releases the server's persistent resources (the tile store's open
-// log files). The server stays usable — logs reopen on the next access.
+// Close releases the server's persistent resources: the audit pool (drained,
+// so submitted audits still complete) and the tile store's open log files.
+// The server stays usable — tile logs reopen on the next access.
 func (s *Server) Close() error {
+	s.auditor.Close()
 	if s.tileStore != nil {
 		return s.tileStore.Close()
 	}
 	return nil
 }
+
+// Auditor exposes the shadow accuracy auditor (tests and harnesses assert
+// on its hard-fail latch and pending queue).
+func (s *Server) Auditor() *audit.Auditor { return s.auditor }
 
 // Registry exposes the server's metric registry so a debug side listener
 // (telemetry.StartDebug) can serve the same /metrics the main handler does.
@@ -286,7 +342,8 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /hotspots", s.guard(s.handleHotspots))
 	mux.Handle("GET /progressive", s.guard(s.handleProgressive))
 	mux.Handle("GET /debug/workmap", s.guard(s.handleWorkMap))
-	return requestID(s.tracing(s.instrument(recoverJSON(mux))))
+	mux.HandleFunc("GET /debug/ops", s.handleOps)
+	return requestID(s.tracing(s.instrument(s.recoverJSON(mux))))
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -539,6 +596,7 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	s.m.recordRenderStats("render", st)
 	if err == nil {
 		s.m.recordOutcome("render", "ok")
+		s.auditEpsMap(w, "render", p, dm, exactDensity(req.kdv))
 		setStatsHeaders(w, st)
 		w.Header().Set("X-KDV-Complete", "true")
 		writeDensityPNG(w, r, dm, req.logScale)
@@ -551,6 +609,12 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 		if pr := s.degraded(r, req); pr != nil {
 			s.m.recordOutcome("render", "degraded")
 			s.m.degraded.Inc()
+			// A deadline-degraded partial raster carries no per-pixel
+			// guarantee (unevaluated pixels hold coarse bounds), so it is
+			// counted unauditable rather than checked.
+			if s.auditor.ShouldAudit() {
+				s.auditor.Skip("degraded")
+			}
 			s.m.pixels.AddInt(pr.Evaluated)
 			setStatsHeaders(w, st)
 			w.Header().Set("X-KDV-Complete", strconv.FormatBool(pr.Complete))
@@ -599,6 +663,7 @@ func (s *Server) renderViaCluster(w http.ResponseWriter, r *http.Request, p *ren
 	}
 	s.m.recordOutcome("render", outcome)
 	s.m.recordRenderStats("render", cres.Stats)
+	s.auditClusterRender(w, p, cres)
 	setRenderStats(r, &cres.Stats)
 	setStatsHeaders(w, cres.Stats)
 	w.Header().Set("X-KDV-Complete", strconv.FormatBool(cres.Complete))
@@ -633,7 +698,13 @@ func (s *Server) degraded(r *http.Request, req *request) *quad.ProgressiveResult
 }
 
 func (s *Server) handleHotspots(w http.ResponseWriter, r *http.Request) {
-	req, err := s.parse(r)
+	p, err := s.parseParams(r)
+	if err != nil {
+		s.m.recordOutcome("hotspots", "error")
+		parseError(w, r, err)
+		return
+	}
+	req, err := s.materialize(r.Context(), p)
 	if err != nil {
 		s.m.recordOutcome("hotspots", "error")
 		parseError(w, r, err)
@@ -664,6 +735,7 @@ func (s *Server) handleHotspots(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.m.recordOutcome("hotspots", "ok")
+	s.auditTauMap(w, p, hm, tau, exactDensity(req.kdv))
 	setStatsHeaders(w, st)
 	w.Header().Set("Content-Type", "image/png")
 	w.Header().Set("X-KDV-Tau", strconv.FormatFloat(tau, 'g', -1, 64))

@@ -114,6 +114,10 @@ func (s *Server) buildPyramid(ctx context.Context, p *renderParams, key string) 
 		return nil, err
 	}
 	pyr.OnStats = func(st quad.RenderStats) { s.m.recordRenderStats("tiles", st) }
+	pCopy := *p
+	pyr.OnBuilt = func(ctx context.Context, c tiles.Coord, dm *quad.DensityMap) {
+		s.auditTile(ctx, &pCopy, pyr, kdv, c, dm)
+	}
 	return pyr, nil
 }
 

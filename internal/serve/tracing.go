@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"log"
 	"net/http"
 
 	"github.com/quadkdv/quad/internal/trace"
@@ -65,7 +64,7 @@ func (s *Server) exportTrace(tr *trace.Trace) {
 	err := trace.WriteJSONL(s.cfg.TraceLog, tr.Spans())
 	s.traceMu.Unlock()
 	if err != nil {
-		log.Printf("serve: trace export: %v", err)
+		s.log.Error("trace export failed", "trace_id", tr.ID().String(), "error", err)
 	}
 }
 

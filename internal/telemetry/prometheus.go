@@ -17,6 +17,9 @@ const ContentType = "text/plain; version=0.0.4; charset=utf-8"
 // order, series within a family in registration order, so output is
 // deterministic for a fixed registration sequence.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	// Scrape hooks refresh sampled values (runtime stats, burn rates) and
+	// may touch the registry, so they run before the lock.
+	r.runScrapeHooks()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	bw := bufio.NewWriter(w)
@@ -24,19 +27,30 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if f.help != "" {
 			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 		}
-		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, expositionKind(f.kind))
 		for _, s := range f.series {
 			switch f.kind {
 			case "counter":
 				writeSample(bw, f.name, "", s.labels, "", strconv.FormatUint(s.c.Value(), 10))
 			case "gauge":
 				writeSample(bw, f.name, "", s.labels, "", strconv.FormatInt(s.g.Value(), 10))
+			case "floatgauge":
+				writeSample(bw, f.name, "", s.labels, "", formatFloat(s.fg.Value()))
 			case "histogram":
 				writeHistogram(bw, f.name, s)
 			}
 		}
 	}
 	return bw.Flush()
+}
+
+// expositionKind maps internal kinds onto Prometheus TYPE names — float
+// gauges are plain gauges on the wire.
+func expositionKind(kind string) string {
+	if kind == "floatgauge" {
+		return "gauge"
+	}
+	return kind
 }
 
 func writeHistogram(w *bufio.Writer, name string, s *series) {

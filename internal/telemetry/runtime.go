@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"runtime"
+	runtimemetrics "runtime/metrics"
+)
+
+// RegisterRuntimeMetrics registers Go runtime health gauges (heap, GC
+// pause, goroutines) on r and refreshes them on every scrape via an
+// OnScrape hook. Values are sampled, not recorded: the process pays one
+// ReadMemStats + runtime/metrics read per scrape and nothing between
+// scrapes. Call once per registry.
+func RegisterRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	var (
+		heapAlloc   = r.Gauge("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.")
+		heapSys     = r.Gauge("go_memstats_heap_sys_bytes", "Bytes of heap memory obtained from the OS.")
+		heapObjects = r.Gauge("go_memstats_heap_objects", "Number of allocated heap objects.")
+		nextGC      = r.Gauge("go_memstats_next_gc_bytes", "Heap size target of the next GC cycle.")
+		gcCycles    = r.Gauge("go_gc_cycles_count", "Completed GC cycles since process start.")
+		gcPause     = r.FloatGauge("go_gc_pause_total_seconds", "Cumulative stop-the-world GC pause time since process start.")
+		goroutines  = r.Gauge("go_goroutines", "Number of live goroutines.")
+		gomaxprocs  = r.Gauge("go_sched_gomaxprocs_threads", "Current GOMAXPROCS setting.")
+	)
+	sampleSpec := []runtimemetrics.Sample{
+		{Name: "/sched/goroutines:goroutines"},
+		{Name: "/sched/gomaxprocs:threads"},
+	}
+	r.OnScrape(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heapAlloc.Set(int64(ms.HeapAlloc))
+		heapSys.Set(int64(ms.HeapSys))
+		heapObjects.Set(int64(ms.HeapObjects))
+		nextGC.Set(int64(ms.NextGC))
+		gcCycles.Set(int64(ms.NumGC))
+		gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+
+		samples := make([]runtimemetrics.Sample, len(sampleSpec))
+		copy(samples, sampleSpec)
+		runtimemetrics.Read(samples)
+		if v := samples[0].Value; v.Kind() == runtimemetrics.KindUint64 {
+			goroutines.Set(int64(v.Uint64()))
+		} else {
+			goroutines.Set(int64(runtime.NumGoroutine()))
+		}
+		if v := samples[1].Value; v.Kind() == runtimemetrics.KindUint64 {
+			gomaxprocs.Set(int64(v.Uint64()))
+		}
+	})
+}

@@ -1,0 +1,238 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Objective is one declarative service-level objective expressed over a
+// pair of cumulative counters: Goal is the target good/total ratio (e.g.
+// 0.999 availability), Good and Total read the current cumulative values.
+// The closures are sampled — never recorded into — so an objective can be
+// laid over any counters that already exist.
+type Objective struct {
+	Name  string  // metric label, e.g. "availability"
+	Goal  float64 // target good/total in (0, 1)
+	Good  func() uint64
+	Total func() uint64
+}
+
+// DefaultSLOWindows are the multi-window burn-rate horizons: a fast window
+// that catches sudden budget burn, a medium window for sustained burn, and
+// a slow window approximating the daily budget.
+var DefaultSLOWindows = []time.Duration{5 * time.Minute, time.Hour, 6 * time.Hour}
+
+// sloSample is one timestamped snapshot of an objective's counters.
+type sloSample struct {
+	at          time.Time
+	good, total uint64
+}
+
+type objectiveState struct {
+	Objective
+	ring  []sloSample // ascending by time, pruned to the slowest window
+	burn  []*FloatGauge
+	ratio []*FloatGauge
+}
+
+// SLO tracks a set of objectives with multi-window burn rates. Each
+// Refresh snapshots every objective's counters into a bounded ring and
+// recomputes, for every window W, the windowed error ratio
+//
+//	err(W) = 1 − Δgood/Δtotal      (over the last W)
+//
+// and the burn rate err(W) / (1 − Goal): burn 1.0 means the error budget
+// is being spent exactly at the sustainable rate, burn N means N× too
+// fast. NewSLO hooks Refresh into the registry's scrape path, so /metrics
+// always shows current burn.
+type SLO struct {
+	windows []time.Duration
+	now     func() time.Time
+	minGap  time.Duration
+
+	mu   sync.Mutex
+	objs []*objectiveState
+	reg  *Registry
+}
+
+// NewSLO returns an SLO publishing kdv_slo_* gauges on reg and refreshing
+// them on every scrape. windows defaults to DefaultSLOWindows; now
+// defaults to time.Now (injectable for tests).
+func NewSLO(reg *Registry, windows []time.Duration, now func() time.Time) *SLO {
+	if len(windows) == 0 {
+		windows = DefaultSLOWindows
+	}
+	if now == nil {
+		now = time.Now
+	}
+	slowest := windows[0]
+	for _, w := range windows {
+		if w > slowest {
+			slowest = w
+		}
+	}
+	s := &SLO{
+		windows: append([]time.Duration(nil), windows...),
+		now:     now,
+		// Bound ring growth: one stored sample per minGap keeps the
+		// slowest window under ~2048 entries however often we're scraped.
+		minGap: slowest / 2048,
+		reg:    reg,
+	}
+	reg.OnScrape(s.Refresh)
+	return s
+}
+
+// Add registers an objective. The ring is seeded with a zero sample so the
+// first windows measure everything since process start.
+func (s *SLO) Add(o Objective) {
+	if o.Good == nil || o.Total == nil || !(o.Goal > 0 && o.Goal < 1) {
+		panic(fmt.Sprintf("telemetry: bad SLO objective %q (need closures and goal in (0,1))", o.Name))
+	}
+	st := &objectiveState{Objective: o}
+	st.ring = append(st.ring, sloSample{at: s.now()})
+	s.reg.FloatGauge("kdv_slo_goal",
+		"Declared objective target (good/total ratio).",
+		L("objective", o.Name)).Set(o.Goal)
+	for _, w := range s.windows {
+		lbl := []Label{L("objective", o.Name), L("window", windowLabel(w))}
+		st.burn = append(st.burn, s.reg.FloatGauge("kdv_slo_burn_rate",
+			"Error-budget burn rate over the window (1.0 = sustainable).", lbl...))
+		st.ratio = append(st.ratio, s.reg.FloatGauge("kdv_slo_error_ratio",
+			"Windowed error ratio (1 - good/total).", lbl...))
+	}
+	s.mu.Lock()
+	s.objs = append(s.objs, st)
+	s.mu.Unlock()
+}
+
+// Refresh snapshots every objective and updates the burn-rate gauges.
+func (s *SLO) Refresh() {
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range s.objs {
+		cur := sloSample{at: now, good: st.Good(), total: st.Total()}
+		last := st.ring[len(st.ring)-1]
+		if now.Sub(last.at) >= s.minGap {
+			st.ring = append(st.ring, cur)
+			st.prune(now, s.slowest())
+		}
+		for i, w := range s.windows {
+			ratio := st.errorRatio(cur, w)
+			st.ratio[i].Set(ratio)
+			st.burn[i].Set(ratio / (1 - st.Goal))
+		}
+	}
+}
+
+func (s *SLO) slowest() time.Duration {
+	max := s.windows[0]
+	for _, w := range s.windows {
+		if w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// prune drops samples older than the slowest window, always keeping at
+// least one sample at or before the horizon so windowed deltas have a
+// baseline.
+func (st *objectiveState) prune(now time.Time, slowest time.Duration) {
+	horizon := now.Add(-slowest)
+	i := 0
+	for i+1 < len(st.ring) && !st.ring[i+1].at.After(horizon) {
+		i++
+	}
+	if i > 0 {
+		st.ring = append(st.ring[:0], st.ring[i:]...)
+	}
+}
+
+// baseline returns the stored sample closest to (but not after) now-w,
+// falling back to the oldest sample when the ring doesn't reach back that
+// far yet.
+func (st *objectiveState) baseline(now time.Time, w time.Duration) sloSample {
+	horizon := now.Add(-w)
+	base := st.ring[0]
+	for _, smp := range st.ring {
+		if smp.at.After(horizon) {
+			break
+		}
+		base = smp
+	}
+	return base
+}
+
+// errorRatio computes 1 - Δgood/Δtotal between the window baseline and
+// cur, evaluated as Δbad/Δtotal so small error counts render exactly.
+func (st *objectiveState) errorRatio(cur sloSample, w time.Duration) float64 {
+	base := st.baseline(cur.at, w)
+	dTotal := cur.total - base.total
+	if dTotal == 0 {
+		return 0
+	}
+	dGood := cur.good - base.good
+	if dGood > dTotal { // counters sampled racily; clamp
+		dGood = dTotal
+	}
+	return float64(dTotal-dGood) / float64(dTotal)
+}
+
+// SLOWindowSnapshot is one window's state in an SLOSnapshot.
+type SLOWindowSnapshot struct {
+	Window     string  `json:"window"`
+	Good       uint64  `json:"good"`
+	Total      uint64  `json:"total"`
+	ErrorRatio float64 `json:"error_ratio"`
+	BurnRate   float64 `json:"burn_rate"`
+}
+
+// SLOSnapshot is one objective's state for the ops snapshot endpoint.
+type SLOSnapshot struct {
+	Name    string              `json:"name"`
+	Goal    float64             `json:"goal"`
+	Good    uint64              `json:"good"`  // cumulative
+	Total   uint64              `json:"total"` // cumulative
+	Windows []SLOWindowSnapshot `json:"windows"`
+}
+
+// Snapshot refreshes and returns every objective's current state.
+func (s *SLO) Snapshot() []SLOSnapshot {
+	s.Refresh()
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SLOSnapshot, 0, len(s.objs))
+	for _, st := range s.objs {
+		cur := sloSample{at: now, good: st.Good(), total: st.Total()}
+		snap := SLOSnapshot{Name: st.Name, Goal: st.Goal, Good: cur.good, Total: cur.total}
+		for _, w := range s.windows {
+			base := st.baseline(cur.at, w)
+			ratio := st.errorRatio(cur, w)
+			snap.Windows = append(snap.Windows, SLOWindowSnapshot{
+				Window:     windowLabel(w),
+				Good:       cur.good - base.good,
+				Total:      cur.total - base.total,
+				ErrorRatio: ratio,
+				BurnRate:   ratio / (1 - st.Goal),
+			})
+		}
+		out = append(out, snap)
+	}
+	return out
+}
+
+// windowLabel renders a duration as a compact label ("5m", "1h", "6h").
+func windowLabel(d time.Duration) string {
+	switch {
+	case d%time.Hour == 0:
+		return fmt.Sprintf("%dh", d/time.Hour)
+	case d%time.Minute == 0:
+		return fmt.Sprintf("%dm", d/time.Minute)
+	default:
+		return d.String()
+	}
+}

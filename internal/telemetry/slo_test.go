@@ -1,0 +1,241 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFloatGauge(t *testing.T) {
+	var nilG *FloatGauge
+	nilG.Set(3.5) // no-op, no panic
+	if nilG.Value() != 0 {
+		t.Fatalf("nil FloatGauge = %g, want 0", nilG.Value())
+	}
+	r := NewRegistry()
+	g := r.FloatGauge("ratio", "A ratio.", L("k", "v"))
+	g.Set(0.25)
+	if g.Value() != 0.25 {
+		t.Fatalf("value = %g, want 0.25", g.Value())
+	}
+	if g2 := r.FloatGauge("ratio", "A ratio.", L("k", "v")); g2 != g {
+		t.Fatal("same name+labels returned distinct float gauges")
+	}
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP ratio A ratio.\n# TYPE ratio gauge\nratio{k=\"v\"} 0.25\n"
+	if buf.String() != want {
+		t.Fatalf("exposition:\n--- got ---\n%s--- want ---\n%s", buf.String(), want)
+	}
+}
+
+func TestFloatGaugeKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering m as floatgauge after gauge did not panic")
+		}
+	}()
+	r.FloatGauge("m", "")
+}
+
+func TestHistogramCountAtOrBelow(t *testing.T) {
+	h, err := newHistogram([]float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 9} {
+		h.Observe(v)
+	}
+	cases := []struct {
+		bound float64
+		want  uint64
+	}{
+		{0.5, 0}, // below the first bucket nothing is countable
+		{1, 2},
+		{2, 4},
+		{3, 4}, // between bucket bounds: only fully-contained buckets count
+		{4, 5},
+		{math.Inf(1), 6},
+	}
+	for _, c := range cases {
+		if got := h.CountAtOrBelow(c.bound); got != c.want {
+			t.Errorf("CountAtOrBelow(%g) = %d, want %d", c.bound, got, c.want)
+		}
+	}
+	var nilH *Histogram
+	if nilH.CountAtOrBelow(1) != 0 {
+		t.Error("nil histogram CountAtOrBelow != 0")
+	}
+}
+
+func TestOnScrapeHookRunsPerScrape(t *testing.T) {
+	r := NewRegistry()
+	var calls atomic.Int64
+	g := r.Gauge("sampled", "")
+	r.OnScrape(func() { g.Set(calls.Add(1)) })
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("hook ran %d times, want 2", calls.Load())
+	}
+	if !strings.Contains(buf.String(), "sampled 2") {
+		t.Fatalf("scrape did not see hook-refreshed value:\n%s", buf.String())
+	}
+}
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{
+		"go_memstats_heap_alloc_bytes", "go_gc_pause_total_seconds", "go_goroutines",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("scrape missing %s:\n%s", name, out)
+		}
+	}
+	if r.Gauge("go_goroutines", "Number of live goroutines.").Value() < 1 {
+		t.Error("goroutine count not sampled on scrape")
+	}
+	RegisterRuntimeMetrics(nil) // nil registry is a no-op
+}
+
+// sloClock is a manually-advanced clock for deterministic SLO tests.
+type sloClock struct{ t time.Time }
+
+func (c *sloClock) now() time.Time          { return c.t }
+func (c *sloClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newSLOClock() *sloClock                { return &sloClock{t: time.Unix(1700000000, 0)} }
+func burnOf(s []SLOSnapshot, win string) float64 {
+	for _, w := range s[0].Windows {
+		if w.Window == win {
+			return w.BurnRate
+		}
+	}
+	return math.NaN()
+}
+
+func TestSLOBurnRates(t *testing.T) {
+	r := NewRegistry()
+	clock := newSLOClock()
+	slo := NewSLO(r, nil, clock.now)
+	var good, total Counter
+	slo.Add(Objective{
+		Name:  "availability",
+		Goal:  0.99,
+		Good:  good.Value,
+		Total: total.Value,
+	})
+
+	// 100 requests, all good: zero burn everywhere.
+	good.Add(100)
+	total.Add(100)
+	clock.advance(time.Minute)
+	snap := slo.Snapshot()
+	if b := burnOf(snap, "5m"); b != 0 {
+		t.Fatalf("all-good burn = %g, want 0", b)
+	}
+
+	// 100 more requests, 10 bad: error ratio 10/200 = 5% cumulative; the
+	// 5m window sees only the new chunk if a sample separates them.
+	clock.advance(10 * time.Minute) // push the first chunk out of the 5m window
+	slo.Refresh()                   // store a baseline sample at t+11m
+	good.Add(90)
+	total.Add(100)
+	clock.advance(time.Minute)
+	snap = slo.Snapshot()
+	// 5m window: Δgood=90 Δtotal=100 → err 0.10 → burn 0.10/0.01 = 10.
+	if b := burnOf(snap, "5m"); math.Abs(b-10) > 1e-9 {
+		t.Fatalf("5m burn = %g, want 10", b)
+	}
+	// 6h window reaches back to process start: err 10/200 → burn 5.
+	if b := burnOf(snap, "6h"); math.Abs(b-5) > 1e-9 {
+		t.Fatalf("6h burn = %g, want 5", b)
+	}
+	if snap[0].Good != 190 || snap[0].Total != 200 {
+		t.Fatalf("cumulative = %d/%d, want 190/200", snap[0].Good, snap[0].Total)
+	}
+}
+
+func TestSLOGaugesOnScrape(t *testing.T) {
+	r := NewRegistry()
+	clock := newSLOClock()
+	slo := NewSLO(r, nil, clock.now)
+	var good, total Counter
+	slo.Add(Objective{Name: "avail", Goal: 0.9, Good: good.Value, Total: total.Value})
+	_ = slo
+	good.Add(8)
+	total.Add(10) // 20% errors, goal 0.9 → budget 10% → burn 2
+	clock.advance(time.Minute)
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `kdv_slo_goal{objective="avail"} 0.9`) {
+		t.Errorf("missing goal gauge:\n%s", out)
+	}
+	if !strings.Contains(out, `kdv_slo_burn_rate{objective="avail",window="5m"}`) {
+		t.Errorf("missing 5m burn gauge:\n%s", out)
+	}
+	burn := r.FloatGauge("kdv_slo_burn_rate",
+		"Error-budget burn rate over the window (1.0 = sustainable).",
+		L("objective", "avail"), L("window", "5m"))
+	if got := burn.Value(); math.Abs(got-2) > 1e-9 {
+		t.Errorf("5m burn gauge = %g, want 2", got)
+	}
+	ratio := r.FloatGauge("kdv_slo_error_ratio",
+		"Windowed error ratio (1 - good/total).",
+		L("objective", "avail"), L("window", "6h"))
+	if got := ratio.Value(); got != 0.2 {
+		t.Errorf("6h ratio gauge = %g, want 0.2", got)
+	}
+}
+
+func TestSLORingPrunes(t *testing.T) {
+	r := NewRegistry()
+	clock := newSLOClock()
+	slo := NewSLO(r, []time.Duration{time.Minute}, clock.now)
+	var c Counter
+	slo.Add(Objective{Name: "x", Goal: 0.5, Good: c.Value, Total: c.Value})
+	for i := 0; i < 10000; i++ {
+		c.Inc()
+		clock.advance(time.Second)
+		slo.Refresh()
+	}
+	st := slo.objs[0]
+	if n := len(st.ring); n > 4096 {
+		t.Fatalf("ring grew unbounded: %d samples", n)
+	}
+	// The baseline for the 1m window must still reach back a full minute.
+	base := st.baseline(clock.now(), time.Minute)
+	if age := clock.now().Sub(base.at); age < time.Minute {
+		t.Fatalf("baseline only %v old, want ≥ 1m", age)
+	}
+}
+
+func TestSLOBadObjectivePanics(t *testing.T) {
+	r := NewRegistry()
+	slo := NewSLO(r, nil, newSLOClock().now)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("objective with goal 1 did not panic")
+		}
+	}()
+	slo.Add(Objective{Name: "bad", Goal: 1, Good: func() uint64 { return 0 }, Total: func() uint64 { return 0 }})
+}

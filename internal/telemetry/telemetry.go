@@ -100,6 +100,29 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
+// FloatGauge is a gauge holding a float64 — for values that are not
+// integral (ratios, seconds, burn rates). The zero value is ready to use; a
+// nil FloatGauge is a valid no-op recorder.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *FloatGauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
 // atomicFloat accumulates a float64 with a CAS loop (there is no atomic
 // float add in sync/atomic).
 type atomicFloat struct {
@@ -173,6 +196,31 @@ func (h *Histogram) Count() uint64 {
 	return h.count.Load()
 }
 
+// CountAtOrBelow returns the number of observations that landed in buckets
+// whose upper bound is ≤ bound — the cumulative count Prometheus would
+// report for bucket{le="bound"}. Bucket-based latency objectives ("p99 ≤
+// 2.5s") divide this by Count(). A bound below the first bucket returns 0;
+// +Inf returns Count().
+func (h *Histogram) CountAtOrBelow(bound float64) uint64 {
+	if h == nil {
+		return 0
+	}
+	// First bucket bound strictly greater than bound: everything before it
+	// is counted.
+	i := sort.SearchFloat64s(h.bounds, bound)
+	if i < len(h.bounds) && h.bounds[i] == bound {
+		i++
+	}
+	var cum uint64
+	for j := 0; j < i; j++ {
+		cum += h.buckets[j].Load()
+	}
+	if math.IsInf(bound, 1) {
+		return h.count.Load()
+	}
+	return cum
+}
+
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 {
 	if h == nil {
@@ -194,6 +242,7 @@ type series struct {
 	labels string // canonical `k="v",k2="v2"` render, "" for unlabeled
 	c      *Counter
 	g      *Gauge
+	fg     *FloatGauge
 	h      *Histogram
 }
 
@@ -213,6 +262,29 @@ type Registry struct {
 	mu     sync.Mutex
 	fams   []*family
 	byName map[string]*family
+
+	hookMu sync.Mutex
+	hooks  []func()
+}
+
+// OnScrape registers fn to run at the start of every WritePrometheus call,
+// before the registry lock is taken — so hooks may freely register or set
+// metrics. Use it for values that are sampled rather than recorded (runtime
+// stats, burn rates): the gauge is refreshed exactly when a scraper looks.
+func (r *Registry) OnScrape(fn func()) {
+	r.hookMu.Lock()
+	defer r.hookMu.Unlock()
+	r.hooks = append(r.hooks, fn)
+}
+
+// runScrapeHooks invokes every OnScrape hook. Callers must not hold r.mu.
+func (r *Registry) runScrapeHooks() {
+	r.hookMu.Lock()
+	hooks := r.hooks
+	r.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
 }
 
 // NewRegistry returns an empty registry.
@@ -267,6 +339,20 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 		s.g = new(Gauge)
 	}
 	return s.g
+}
+
+// FloatGauge returns the float gauge registered under name with the given
+// labels, creating it on first use. It is exposed with TYPE gauge; the
+// distinct internal kind only prevents mixing integer and float series
+// under one name.
+func (r *Registry) FloatGauge(name, help string, labels ...Label) *FloatGauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.getFamily(name, help, "floatgauge").getSeries(labels)
+	if s.fg == nil {
+		s.fg = new(FloatGauge)
+	}
+	return s.fg
 }
 
 // Histogram returns the histogram registered under name with the given

@@ -47,6 +47,13 @@ type Pyramid struct {
 	// serve layer folds them into the kdv_render_* work metrics).
 	OnStats func(quad.RenderStats)
 
+	// OnBuilt, when set, receives each freshly rendered tile's raster before
+	// it is encoded — the shadow-audit hook. The DensityMap is the tile's
+	// own sub-raster; its window is the tile bbox, and the full-pyramid
+	// pixel geometry is recoverable from the Coord and the tile size. The
+	// context is the build's (carrying the initiating request's trace).
+	OnBuilt func(ctx context.Context, c Coord, dm *quad.DensityMap)
+
 	mu       sync.Mutex
 	building map[Coord]*tileCall
 }
@@ -229,6 +236,9 @@ func (p *Pyramid) buildTile(ctx context.Context, c Coord) (*Tile, error) {
 	}
 	if p.OnStats != nil {
 		p.OnStats(st)
+	}
+	if p.OnBuilt != nil {
+		p.OnBuilt(ctx, c, dm)
 	}
 	v := &grid.Values{Res: grid.Resolution{W: dm.Res.W, H: dm.Res.H}, Data: dm.Values}
 	tile, err := p.encodeAndStore(ctx, c, v)

@@ -288,6 +288,9 @@ type KDV struct {
 	engines      sync.Pool
 	tileScratch  sync.Pool    // *renderScratch for tile render workers
 	scratchLive  atomic.Int64 // render scratches checked out and not yet returned
+
+	permOnce sync.Once
+	perm     []int // lazily-built Z-order permutation for OraclePartial
 }
 
 // New builds a KDV instance over a flat row-major coordinate buffer of

@@ -37,7 +37,7 @@ trap cleanup EXIT INT TERM
 
 go build -o "$BIN" ./cmd/kdvserve
 "$BIN" -addr "$ADDR" -n 3000 -slow-query 1ns -enable-workmap \
-    -tiles-dir "$TILES" -tile-size 128 \
+    -tiles-dir "$TILES" -tile-size 128 -audit-fraction 1 \
     -trace-log "$ART/serve.trace.jsonl" >"$LOG" 2>&1 &
 SRV_PID=$!
 
@@ -65,6 +65,42 @@ echo "$METRICS" | grep -q 'kdv_cache_hits_total [1-9]' \
 echo "$METRICS" | grep -q '^kdv_ready 1$' \
     || { echo "smoke: kdv_ready gauge not set"; exit 1; }
 echo "smoke: /metrics recorded the render"
+
+# Shadow audit (fraction 1 above): the async auditor must recompute pixels
+# of the render against the exact oracle, and on honest code it must find
+# zero violations. The audit runs off the request path, so poll briefly.
+audited=""
+for _ in $(seq 1 60); do
+    if curl -sf "$BASE/metrics" | grep -q 'kdv_audit_checks_total{endpoint="render"} [1-9]'; then
+        audited=1; break
+    fi
+    sleep 0.5
+done
+[ -n "$audited" ] || { echo "smoke: audit never checked the render"; curl -sf "$BASE/metrics" | grep kdv_audit; cat "$LOG"; exit 1; }
+if curl -sf "$BASE/metrics" | grep '^kdv_audit_violations_total' | grep -qv ' 0$'; then
+    echo "smoke: audit found guarantee violations:"
+    curl -sf "$BASE/metrics" | grep kdv_audit
+    exit 1
+fi
+echo "smoke: shadow audit checked the render, zero violations"
+
+# /debug/ops must answer one parseable JSON snapshot naming the default
+# dataset and carrying the audit and SLO blocks.
+curl -sf "$BASE/debug/ops" -o "$ART/ops.json" \
+    || { echo "smoke: /debug/ops failed"; cat "$LOG"; exit 1; }
+python3 - "$ART/ops.json" <<'PYEOF' \
+    || { echo "smoke: /debug/ops snapshot malformed"; cat "$ART/ops.json"; exit 1; }
+import json, sys
+ops = json.load(open(sys.argv[1]))
+assert ops["default_dataset"] == "crime", ops.get("default_dataset")
+assert "crime" in ops["datasets"], ops.get("datasets")
+assert ops["audit"]["checks"] >= 1, ops["audit"]
+assert ops["audit"]["violations"] == 0, ops["audit"]
+assert ops["slo"], "missing slo block"
+names = {o["name"] for o in ops["slo"]}
+assert {"availability", "latency", "accuracy"} <= names, names
+PYEOF
+echo "smoke: /debug/ops snapshot parseable with audit + SLO blocks"
 
 # The slow-query log (threshold 1ns) must have captured it, with stats.
 grep -q '"path":"/render"' "$LOG" \

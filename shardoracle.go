@@ -1,0 +1,86 @@
+package quad
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/quadkdv/quad/internal/geom"
+	"github.com/quadkdv/quad/internal/oracle"
+)
+
+// OraclePartial returns an exact (Kahan-summed) density evaluator over the
+// union of the given shard indices of a count-way Z-order partition of this
+// KDV's dataset — the ground truth a merged k-of-n fan-out raster must be
+// judged against. The partition is exactly WithShard's: same Z-order curve,
+// same contiguous range split, same deterministic tie-breaking — so the
+// evaluator's value at q equals Σ_i F_{P_i}(q) over the listed shards, the
+// quantity a degraded partial merge approximates under the ε guarantee.
+//
+// The receiver must be an unsharded KDV over the full dataset (the
+// coordinator's view); shard indices must be unique-able members of
+// [0, count). Listing every shard returns the full-density evaluator. The
+// Z-order permutation is computed once per KDV and cached.
+//
+// The returned evaluator expects Dim()-dimensional queries and is safe for
+// concurrent use.
+func (k *KDV) OraclePartial(shards []int, count int) (func(q []float64) float64, error) {
+	if k.cfg.sharded {
+		return nil, fmt.Errorf("quad: OraclePartial requires the unsharded full-dataset KDV")
+	}
+	n := k.pts.Len()
+	if count < 1 || count > n {
+		return nil, fmt.Errorf("quad: shard count %d out of range [1, %d]", count, n)
+	}
+	if k.pts.Dim != 2 {
+		return nil, fmt.Errorf("quad: OraclePartial requires a 2-d dataset (Z-order split), got %d-d", k.pts.Dim)
+	}
+	uniq := append([]int(nil), shards...)
+	sort.Ints(uniq)
+	dst := 0
+	for i, s := range uniq {
+		if s < 0 || s >= count {
+			return nil, fmt.Errorf("quad: shard index %d out of range [0, %d)", s, count)
+		}
+		if i > 0 && s == uniq[dst-1] {
+			continue
+		}
+		uniq[dst] = s
+		dst++
+	}
+	uniq = uniq[:dst]
+
+	o := oracle.Oracle{
+		Pts:     k.pts,
+		Weights: k.weights,
+		Kern:    k.cfg.kern.internal(),
+		Gamma:   k.bw.Gamma,
+		Weight:  k.bw.Weight,
+	}
+	if len(uniq) == count {
+		// Every shard live: the union is the full dataset, no restriction
+		// (and no permutation) needed.
+		return o.Density, nil
+	}
+
+	k.permOnce.Do(func() {
+		k.perm = zorderPermutation(k.pts, geom.BoundingRect(k.pts))
+	})
+	dim := k.pts.Dim
+	var coords []float64
+	var ws []float64
+	for _, s := range uniq {
+		lo, hi := shardRange(n, s, count)
+		for _, pi := range k.perm[lo:hi] {
+			coords = append(coords, k.pts.At(pi)...)
+			if k.weights != nil {
+				ws = append(ws, k.weights[pi])
+			}
+		}
+	}
+	if len(coords) == 0 {
+		return func([]float64) float64 { return 0 }, nil
+	}
+	o.Pts = geom.NewPoints(coords, dim)
+	o.Weights = ws
+	return o.Density, nil
+}

@@ -1,0 +1,116 @@
+package quad
+
+import (
+	"math"
+	"testing"
+)
+
+// TestOraclePartialMatchesShardDensities pins the contract the cluster
+// audit path relies on: the partial-sum oracle over live shards equals the
+// sum of the per-shard exact densities (to accumulation rounding), and the
+// all-shards oracle equals the full Density.
+func TestOraclePartialMatchesShardDensities(t *testing.T) {
+	pts := shardTestPoints(t, 420)
+	full, err := New(pts.Coords, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.3, 0.7}
+	const count = 4
+
+	for _, live := range [][]int{{0}, {1, 3}, {0, 2, 3}, {0, 1, 2, 3}} {
+		partial, err := full.OraclePartial(live, count)
+		if err != nil {
+			t.Fatalf("OraclePartial(%v): %v", live, err)
+		}
+		var want float64
+		for _, s := range live {
+			sh, err := New(pts.Coords, 2, WithShard(s, count))
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := sh.Density(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want += d
+		}
+		got := partial(q)
+		if diff := math.Abs(got - want); diff > 1e-12*math.Max(got, want) {
+			t.Errorf("live %v: partial oracle %.17g vs shard sum %.17g", live, got, want)
+		}
+	}
+
+	all, err := full.OraclePartial([]int{3, 2, 1, 0, 2}, count) // duplicates collapse
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := full.Density(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := all(q); got != fd {
+		t.Errorf("all-shards oracle %.17g != full Density %.17g", got, fd)
+	}
+}
+
+// TestOraclePartialWeighted checks per-point weights ride along the
+// partial-sum restriction.
+func TestOraclePartialWeighted(t *testing.T) {
+	pts := shardTestPoints(t, 240)
+	ws := make([]float64, pts.Len())
+	for i := range ws {
+		ws[i] = 1 + float64(i%3)
+	}
+	full, err := New(pts.Coords, 2, WithPointWeights(ws))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.5, 0.5}
+	partial, err := full.OraclePartial([]int{1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := New(pts.Coords, 2, WithShard(1, 3), WithPointWeights(ws))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sh.Density(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := partial(q)
+	if diff := math.Abs(got - want); diff > 1e-12*math.Max(got, want) {
+		t.Errorf("weighted partial oracle %.17g vs shard density %.17g", got, want)
+	}
+}
+
+func TestOraclePartialValidation(t *testing.T) {
+	pts := shardTestPoints(t, 50)
+	full, err := New(pts.Coords, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		shards []int
+		count  int
+	}{
+		{"zero count", []int{0}, 0},
+		{"count past cardinality", []int{0}, 51},
+		{"negative shard", []int{-1}, 2},
+		{"shard past count", []int{2}, 2},
+	}
+	for _, tc := range cases {
+		if _, err := full.OraclePartial(tc.shards, tc.count); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	sharded, err := New(pts.Coords, 2, WithShard(0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sharded.OraclePartial([]int{0}, 2); err == nil {
+		t.Error("sharded receiver: expected error")
+	}
+}
